@@ -1,0 +1,332 @@
+//! The intra-area blockage attack (paper §III-C).
+
+use crate::ReplayOrder;
+use geonet::{Frame, GnAddress, PacketKey};
+use geonet_geo::Position;
+use geonet_sim::SimDuration;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How the attacker transmits its replayed copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BlockageMode {
+    /// *Spot 1* / conservative strategy: clamp the (unprotected) RHL to 1
+    /// and broadcast at full attack power. Buffered candidates discard
+    /// their copies as "duplicates"; first-time receivers decrement the
+    /// RHL to 0 and never forward.
+    ClampRhl,
+    /// *Spot 2* variant: replay the packet unmodified but control the
+    /// transmission power so only the targeted candidate forwarders hear
+    /// it (used in the paper's road-safety case study to silence a single
+    /// roadside unit).
+    PowerControlled {
+        /// Effective replay range, metres.
+        range: f64,
+    },
+}
+
+impl fmt::Display for BlockageMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockageMode::ClampRhl => f.write_str("clamp-RHL"),
+            BlockageMode::PowerControlled { range } => {
+                write!(f, "power-controlled ({range:.0} m)")
+            }
+        }
+    }
+}
+
+/// The CBF forwarder-impersonation attacker.
+///
+/// It captures the **first copy** of each GeoBroadcast packet it hears and
+/// immediately replays it (within the paper's ≤ 1 ms processing window,
+/// well inside TO_MIN), impersonating the contention winner. Buffered
+/// candidate forwarders in its coverage treat the replay as a peer's
+/// re-broadcast and discard their copies.
+///
+/// Subsequent copies of the same packet (legitimate re-broadcasts that
+/// escaped the first replay) are replayed too — the attacker keeps
+/// suppressing the flood wherever it can hear it — unless
+/// `replay_once` is set, which models a minimal attacker.
+#[derive(Debug, Clone)]
+pub struct IntraAreaAttacker {
+    position: Position,
+    mode: BlockageMode,
+    processing_delay: SimDuration,
+    replay_once: bool,
+    pseudonym: GnAddress,
+    seen: BTreeSet<PacketKey>,
+    packets_sniffed: u64,
+    packets_replayed: u64,
+}
+
+impl IntraAreaAttacker {
+    /// Creates an attacker at `position` using the given mode.
+    #[must_use]
+    pub fn new(position: Position, mode: BlockageMode) -> Self {
+        IntraAreaAttacker {
+            position,
+            mode,
+            processing_delay: SimDuration::from_millis(1),
+            replay_once: true,
+            pseudonym: GnAddress::vehicle(0xFFFF_FFFF_0000),
+            seen: BTreeSet::new(),
+            packets_sniffed: 0,
+            packets_replayed: 0,
+        }
+    }
+
+    /// Overrides the capture-to-replay processing delay (default 1 ms).
+    #[must_use]
+    pub fn with_processing_delay(mut self, delay: SimDuration) -> Self {
+        self.processing_delay = delay;
+        self
+    }
+
+    /// Controls whether each packet is replayed only on its first sighting
+    /// (`true`, default — the paper's proof of concept) or on every
+    /// sighting (`false`, a more aggressive attacker).
+    #[must_use]
+    pub fn with_replay_once(mut self, once: bool) -> Self {
+        self.replay_once = once;
+        self
+    }
+
+    /// Sets the pseudonymous link-layer source used for replays. The
+    /// paper's threat model allows pseudonyms (they exist for privacy);
+    /// the network-layer content stays authentic either way.
+    #[must_use]
+    pub fn with_pseudonym(mut self, pseudonym: GnAddress) -> Self {
+        self.pseudonym = pseudonym;
+        self
+    }
+
+    /// The attacker's position.
+    #[must_use]
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// The configured mode.
+    #[must_use]
+    pub fn mode(&self) -> BlockageMode {
+        self.mode
+    }
+
+    /// Moves the attacker (mobile-attacker extension).
+    pub fn set_position(&mut self, position: Position) {
+        self.position = position;
+    }
+
+    /// GeoBroadcast packets heard so far (first copies).
+    #[must_use]
+    pub fn packets_sniffed(&self) -> u64 {
+        self.packets_sniffed
+    }
+
+    /// Replays transmitted so far.
+    #[must_use]
+    pub fn packets_replayed(&self) -> u64 {
+        self.packets_replayed
+    }
+
+    /// Feeds one sniffed frame; returns a replay order for GeoBroadcast
+    /// packets.
+    pub fn on_sniff(&mut self, frame: &Frame) -> Option<ReplayOrder> {
+        let key = PacketKey::of(&frame.msg)?; // beacons: None → ignore
+        let first_sighting = self.seen.insert(key);
+        self.packets_sniffed += u64::from(first_sighting);
+        if self.replay_once && !first_sighting {
+            return None;
+        }
+        self.packets_replayed += 1;
+        let (msg, range_cap) = match self.mode {
+            BlockageMode::ClampRhl => (frame.msg.with_rhl(1), None),
+            BlockageMode::PowerControlled { range } => (frame.msg.clone(), Some(range)),
+        };
+        Some(ReplayOrder {
+            frame: Frame::broadcast(self.pseudonym, self.position, msg),
+            delay: self.processing_delay,
+            range_cap,
+        })
+    }
+}
+
+impl fmt::Display for IntraAreaAttacker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "intra-area attacker at {} mode {} ({} sniffed, {} replayed)",
+            self.position, self.mode, self.packets_sniffed, self.packets_replayed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geonet::{CertificateAuthority, GnConfig, GnRouter, RouterAction};
+    use geonet_geo::{Area, GeoReference, Heading};
+    use geonet_sim::SimTime;
+
+    fn router(ca: &CertificateAuthority, addr: u64) -> GnRouter {
+        GnRouter::new(
+            ca.enroll(GnAddress::vehicle(addr)),
+            ca.verifier(),
+            GnConfig::paper_default(1_283.0),
+            GeoReference::default(),
+        )
+    }
+
+    fn road_area() -> Area {
+        Area::rectangle(Position::new(2_000.0, 0.0), 2_000.0, 20.0, 90.0)
+    }
+
+    fn originate_frame(ca: &CertificateAuthority, src: u64, x: f64) -> (PacketKey, Frame) {
+        let mut v = router(ca, src);
+        let (key, actions) = v.originate(
+            &road_area(),
+            vec![0xEE],
+            SimTime::from_secs(1),
+            Position::new(x, 2.5),
+            30.0,
+            Heading::EAST,
+        );
+        let RouterAction::Transmit(f) = &actions[0] else { panic!() };
+        (key, f.clone())
+    }
+
+    #[test]
+    fn clamp_mode_rewrites_rhl_to_one() {
+        let ca = CertificateAuthority::new(1);
+        let (_, frame) = originate_frame(&ca, 1, 1_000.0);
+        assert_eq!(frame.msg.rhl(), 10);
+        let mut atk =
+            IntraAreaAttacker::new(Position::new(2_000.0, -10.0), BlockageMode::ClampRhl);
+        let order = atk.on_sniff(&frame).unwrap();
+        assert_eq!(order.frame.msg.rhl(), 1);
+        assert_eq!(order.range_cap, None);
+        assert_eq!(order.delay, SimDuration::from_millis(1));
+        // The clamped packet still authenticates — RHL is unprotected.
+        assert!(ca.verifier().verify(&order.frame.msg));
+    }
+
+    #[test]
+    fn power_controlled_mode_keeps_rhl_and_caps_range() {
+        let ca = CertificateAuthority::new(1);
+        let (_, frame) = originate_frame(&ca, 1, 1_000.0);
+        let mut atk = IntraAreaAttacker::new(
+            Position::new(2_000.0, -10.0),
+            BlockageMode::PowerControlled { range: 120.0 },
+        );
+        let order = atk.on_sniff(&frame).unwrap();
+        assert_eq!(order.frame.msg.rhl(), 10);
+        assert_eq!(order.range_cap, Some(120.0));
+    }
+
+    #[test]
+    fn replays_each_packet_once_by_default() {
+        let ca = CertificateAuthority::new(1);
+        let (_, frame) = originate_frame(&ca, 1, 1_000.0);
+        let mut atk =
+            IntraAreaAttacker::new(Position::new(2_000.0, -10.0), BlockageMode::ClampRhl);
+        assert!(atk.on_sniff(&frame).is_some());
+        assert!(atk.on_sniff(&frame).is_none(), "same key ignored");
+        assert_eq!(atk.packets_sniffed(), 1);
+        assert_eq!(atk.packets_replayed(), 1);
+        // A different packet is replayed again.
+        let (_, frame2) = originate_frame(&ca, 2, 1_500.0);
+        assert!(atk.on_sniff(&frame2).is_some());
+    }
+
+    #[test]
+    fn aggressive_attacker_replays_every_copy() {
+        let ca = CertificateAuthority::new(1);
+        let (_, frame) = originate_frame(&ca, 1, 1_000.0);
+        let mut atk = IntraAreaAttacker::new(Position::ORIGIN, BlockageMode::ClampRhl)
+            .with_replay_once(false);
+        assert!(atk.on_sniff(&frame).is_some());
+        assert!(atk.on_sniff(&frame).is_some());
+        assert_eq!(atk.packets_replayed(), 2);
+    }
+
+    #[test]
+    fn ignores_beacons() {
+        let ca = CertificateAuthority::new(1);
+        let v = router(&ca, 1);
+        let beacon =
+            v.make_beacon(SimTime::from_secs(1), Position::new(10.0, 0.0), 30.0, Heading::EAST);
+        let mut atk = IntraAreaAttacker::new(Position::ORIGIN, BlockageMode::ClampRhl);
+        assert!(atk.on_sniff(&beacon).is_none());
+        assert_eq!(atk.packets_sniffed(), 0);
+    }
+
+    #[test]
+    fn replay_suppresses_buffered_candidate() {
+        // The §III-C chain: V2 buffers V1's packet; the attacker's clamped
+        // replay arrives within TO; V2 discards. A fresh receiver of the
+        // replay delivers but never forwards (RHL exhausted).
+        let ca = CertificateAuthority::new(1);
+        let (key, frame) = originate_frame(&ca, 1, 1_000.0);
+        let mut v2 = router(&ca, 2);
+        let mut v3 = router(&ca, 3);
+        let mut atk =
+            IntraAreaAttacker::new(Position::new(1_400.0, -10.0), BlockageMode::ClampRhl);
+
+        let t0 = SimTime::from_secs(1);
+        // V2 (in area, in V1's range) buffers and contends.
+        let a2 = v2.handle_frame(&frame, Position::new(1_400.0, 2.5), t0);
+        let RouterAction::CbfTimer { generation, delay, .. } = a2[1] else { panic!() };
+        // The attacker heard the same transmission and replays at +1 ms.
+        let order = atk.on_sniff(&frame).unwrap();
+        assert!(order.delay < delay, "replay must beat the contention timer");
+        let dup = v2.handle_frame(&order.frame, Position::new(1_400.0, 2.5), t0 + order.delay);
+        assert!(dup.is_empty());
+        assert_eq!(v2.stats().cbf_discards, 1);
+        // V2's timer now yields nothing: the flood is dead here.
+        let out = v2.handle_cbf_timer(key, generation, Position::new(1_400.0, 2.5), t0 + delay);
+        assert!(out.is_empty());
+
+        // V3 (beyond V1 but within attack range) receives the replay as
+        // its first copy: delivered, but RHL 1 → never forwarded.
+        let a3 = v3.handle_frame(&order.frame, Position::new(1_800.0, 2.5), t0 + order.delay);
+        assert_eq!(a3.len(), 1);
+        assert!(matches!(a3[0], RouterAction::Deliver { .. }));
+        assert_eq!(v3.stats().rhl_exhausted, 1);
+    }
+
+    #[test]
+    fn rhl_mitigation_defeats_clamped_replay() {
+        let ca = CertificateAuthority::new(1);
+        let (key, frame) = originate_frame(&ca, 1, 1_000.0);
+        let mut v2 = GnRouter::new(
+            ca.enroll(GnAddress::vehicle(2)),
+            ca.verifier(),
+            GnConfig::paper_default(1_283.0)
+                .with_mitigations(geonet::MitigationConfig::rhl_check(3)),
+            GeoReference::default(),
+        );
+        let mut atk =
+            IntraAreaAttacker::new(Position::new(1_400.0, -10.0), BlockageMode::ClampRhl);
+        let t0 = SimTime::from_secs(1);
+        let a2 = v2.handle_frame(&frame, Position::new(1_400.0, 2.5), t0);
+        let RouterAction::CbfTimer { generation, delay, .. } = a2[1] else { panic!() };
+        let order = atk.on_sniff(&frame).unwrap();
+        v2.handle_frame(&order.frame, Position::new(1_400.0, 2.5), t0 + order.delay);
+        assert_eq!(v2.stats().cbf_mitigation_rejects, 1);
+        // Contention survives: V2 still re-broadcasts.
+        let out = v2.handle_cbf_timer(key, generation, Position::new(1_400.0, 2.5), t0 + delay);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn display_reports_mode() {
+        let atk = IntraAreaAttacker::new(
+            Position::ORIGIN,
+            BlockageMode::PowerControlled { range: 120.0 },
+        );
+        let s = atk.to_string();
+        assert!(s.contains("power-controlled"), "{s}");
+        assert_eq!(BlockageMode::ClampRhl.to_string(), "clamp-RHL");
+    }
+}

@@ -1,0 +1,204 @@
+//! The inter-area interception attack (paper §III-B).
+
+use crate::ReplayOrder;
+use geonet::Frame;
+use geonet_geo::Position;
+use geonet_sim::SimDuration;
+use std::fmt;
+
+/// The beacon-replay attacker.
+///
+/// Deployed statically at the roadside, it sniffs the public channel and
+/// re-broadcasts **every beacon it hears** at its (larger) attack range —
+/// the strategy the paper's evaluation uses ("the attacker rebroadcasts
+/// all beacons that it hears to the vehicles within its communication
+/// coverage"). Vehicles that would never have heard each other directly
+/// thus poison each other's location tables with authentic but
+/// unreachable neighbours.
+///
+/// The replayed frame is byte-identical to the captured one: signature,
+/// position vector and timestamp all verify, which is why certificate
+/// checks and integrity protection do not stop the attack.
+#[derive(Debug, Clone)]
+pub struct InterAreaAttacker {
+    position: Position,
+    processing_delay: SimDuration,
+    beacons_sniffed: u64,
+    beacons_replayed: u64,
+}
+
+impl InterAreaAttacker {
+    /// Creates an attacker whose sniffer sits at `position`.
+    #[must_use]
+    pub fn new(position: Position) -> Self {
+        InterAreaAttacker {
+            position,
+            processing_delay: SimDuration::from_millis(1),
+            beacons_sniffed: 0,
+            beacons_replayed: 0,
+        }
+    }
+
+    /// Overrides the capture-to-replay processing delay (default 1 ms).
+    #[must_use]
+    pub fn with_processing_delay(mut self, delay: SimDuration) -> Self {
+        self.processing_delay = delay;
+        self
+    }
+
+    /// The attacker's position.
+    #[must_use]
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// Moves the attacker (the paper's discussion covers mobile
+    /// attackers; replayed frames carry the new transmitter position).
+    pub fn set_position(&mut self, position: Position) {
+        self.position = position;
+    }
+
+    /// Beacons heard so far.
+    #[must_use]
+    pub fn beacons_sniffed(&self) -> u64 {
+        self.beacons_sniffed
+    }
+
+    /// Beacons replayed so far.
+    #[must_use]
+    pub fn beacons_replayed(&self) -> u64 {
+        self.beacons_replayed
+    }
+
+    /// Feeds one sniffed frame; returns a replay order for beacons.
+    ///
+    /// Data packets are ignored — this attack never touches them; it only
+    /// corrupts the victims' view of the topology and lets greedy
+    /// forwarding do the packet dropping itself.
+    pub fn on_sniff(&mut self, frame: &Frame) -> Option<ReplayOrder> {
+        if frame.msg.packet.gbc().is_some() {
+            return None; // not a beacon
+        }
+        self.beacons_sniffed += 1;
+        self.beacons_replayed += 1;
+        Some(ReplayOrder {
+            frame: Frame {
+                // Replayed verbatim at the network layer; the physical
+                // transmitter is now the attacker.
+                sender_position: self.position,
+                ..frame.clone()
+            },
+            delay: self.processing_delay,
+            range_cap: None,
+        })
+    }
+}
+
+impl fmt::Display for InterAreaAttacker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inter-area attacker at {} ({} sniffed, {} replayed)",
+            self.position, self.beacons_sniffed, self.beacons_replayed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geonet::{CertificateAuthority, GnAddress, GnConfig, GnRouter};
+    use geonet_geo::{Area, GeoReference, Heading};
+    use geonet_sim::SimTime;
+
+    fn router(ca: &CertificateAuthority, addr: u64) -> GnRouter {
+        GnRouter::new(
+            ca.enroll(GnAddress::vehicle(addr)),
+            ca.verifier(),
+            GnConfig::paper_default(1_283.0),
+            GeoReference::default(),
+        )
+    }
+
+    #[test]
+    fn replays_beacons_with_default_delay() {
+        let ca = CertificateAuthority::new(1);
+        let v3 = router(&ca, 3);
+        let mut atk = InterAreaAttacker::new(Position::new(500.0, -10.0));
+        let beacon =
+            v3.make_beacon(SimTime::from_secs(1), Position::new(700.0, 0.0), 30.0, Heading::EAST);
+        let order = atk.on_sniff(&beacon).expect("beacons are replayed");
+        assert_eq!(order.delay, SimDuration::from_millis(1));
+        assert_eq!(order.range_cap, None);
+        // Network-layer content untouched.
+        assert_eq!(order.frame.msg, beacon.msg);
+        assert_eq!(order.frame.src, beacon.src);
+        // Physical transmitter moved to the attacker.
+        assert_eq!(order.frame.sender_position, atk.position());
+        assert_eq!(atk.beacons_replayed(), 1);
+    }
+
+    #[test]
+    fn ignores_data_packets() {
+        let ca = CertificateAuthority::new(1);
+        let mut v1 = router(&ca, 1);
+        let mut atk = InterAreaAttacker::new(Position::new(500.0, -10.0));
+        let area = Area::circle(Position::new(4_020.0, 0.0), 50.0);
+        let (_, actions) = v1.originate(
+            &area,
+            vec![1],
+            SimTime::from_secs(1),
+            Position::ORIGIN,
+            30.0,
+            Heading::EAST,
+        );
+        let geonet::RouterAction::Transmit(frame) = &actions[0] else { panic!() };
+        assert!(atk.on_sniff(frame).is_none());
+        assert_eq!(atk.beacons_sniffed(), 0);
+    }
+
+    #[test]
+    fn end_to_end_poisoning_without_mitigation() {
+        // The full §III-B chain: replayed beacon → LocT entry → GF picks
+        // the unreachable node.
+        let ca = CertificateAuthority::new(1);
+        let mut v1 = router(&ca, 1); // victim at x = 0
+        let v2 = router(&ca, 2); // real neighbour at 300 m
+        let v3 = router(&ca, 3); // out of range at 700 m
+        let mut atk = InterAreaAttacker::new(Position::new(400.0, -10.0));
+
+        let t0 = SimTime::from_secs(1);
+        let v2_beacon = v2.make_beacon(t0, Position::new(300.0, 0.0), 30.0, Heading::EAST);
+        let v3_beacon = v3.make_beacon(t0, Position::new(700.0, 0.0), 30.0, Heading::EAST);
+
+        // v1 hears v2 directly, and v3 only through the attacker.
+        v1.handle_frame(&v2_beacon, Position::ORIGIN, t0);
+        let order = atk.on_sniff(&v3_beacon).unwrap();
+        v1.handle_frame(&order.frame, Position::ORIGIN, t0 + order.delay);
+
+        let area = Area::circle(Position::new(4_020.0, 0.0), 50.0);
+        let (_, actions) = v1.originate(
+            &area,
+            vec![1],
+            t0 + order.delay,
+            Position::ORIGIN,
+            30.0,
+            Heading::EAST,
+        );
+        let geonet::RouterAction::Transmit(f) = &actions[0] else { panic!() };
+        assert_eq!(f.dst, Some(GnAddress::vehicle(3)), "victim forwards into the void");
+    }
+
+    #[test]
+    fn custom_processing_delay() {
+        let atk = InterAreaAttacker::new(Position::ORIGIN)
+            .with_processing_delay(SimDuration::from_micros(200));
+        assert_eq!(atk.processing_delay, SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn display_reports_counts() {
+        let atk = InterAreaAttacker::new(Position::ORIGIN);
+        assert!(atk.to_string().contains("inter-area attacker"));
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's two outsider attacks against GeoNetworking.
+//!
+//! Both attackers are *outsiders* in the paper's threat model: they hold
+//! no certificate (note that nothing in this crate ever receives
+//! [`geonet::Credentials`]), cannot forge or alter signed content, and act
+//! purely by **replaying** authentic frames they sniff from the public
+//! channel — optionally rewriting the one field the standard leaves
+//! outside the integrity envelope, the remaining hop limit.
+//!
+//! * [`InterAreaAttacker`] (paper §III-B) replays beacons so that victims
+//!   learn authentic position vectors of vehicles that are *out of their
+//!   radio range*; greedy forwarding then picks an unreachable next hop
+//!   and the packet silently dies.
+//! * [`IntraAreaAttacker`] (paper §III-C) impersonates the fastest CBF
+//!   contender: it captures a GeoBroadcast packet, clamps its RHL to 1 and
+//!   re-broadcasts immediately, making all buffered candidates discard
+//!   their copies while new receivers decrement the RHL to zero and stop.
+//!   The Spot-2 variant replays unmodified at reduced transmission power
+//!   instead.
+//!
+//! The attackers are pure state machines like the routers: the scenario
+//! layer feeds them every frame their sniffer can hear and executes the
+//! [`ReplayOrder`]s they emit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockage;
+pub mod interception;
+
+pub use blockage::{BlockageMode, IntraAreaAttacker};
+pub use interception::InterAreaAttacker;
+
+use geonet::Frame;
+use geonet_sim::SimDuration;
+
+/// An instruction to transmit a (possibly modified) captured frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOrder {
+    /// The frame to put on the air.
+    pub frame: Frame,
+    /// Processing delay before transmission. The paper argues ≤ 1 ms is
+    /// achievable, comfortably inside the CBF window (TO_MIN = 1 ms).
+    pub delay: SimDuration,
+    /// Transmission-power control: cap the effective range to this many
+    /// metres (`None` = full attack power). Used by the Spot-2 variant.
+    pub range_cap: Option<f64>,
+}

@@ -1,0 +1,216 @@
+//! One bench target per paper table and figure.
+//!
+//! Each bench times a miniature A/B experiment (1 run × 30 s per side)
+//! and prints the resulting γ/λ once, so `cargo bench` output doubles as
+//! a quick-look reproduction report. Full-scale regeneration:
+//! `cargo run --release -p geonet-scenarios --bin repro -- --runs 100 --duration 200 all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geonet_bench::{bench_scale, report};
+use geonet_radio::RangeProfile;
+use geonet_scenarios::{impact, interarea, intraarea, mitigation, safety, ScenarioConfig};
+use geonet_traffic::{IdmParams, RoadConfig, TrafficSim};
+use std::hint::black_box;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_tables(c: &mut Criterion) {
+    // Table I: the IDM at work — time a second of the pre-filled road.
+    c.bench_function("table1_idm_traffic_step", |b| {
+        let mut sim = TrafficSim::new(RoadConfig::paper_default());
+        b.iter(|| {
+            for _ in 0..10 {
+                sim.step(0.1);
+            }
+            black_box(sim.count_on_road())
+        });
+    });
+    report(
+        "table1",
+        "IDM params",
+        Some(IdmParams::paper_default().desired_velocity / 100.0),
+    );
+
+    // Table II: range-profile lookups (trivially fast; exists so every
+    // table has a regeneration target).
+    c.bench_function("table2_ranges", |b| {
+        b.iter(|| {
+            let d = RangeProfile::DSRC;
+            let v = RangeProfile::CV2X;
+            black_box(d.nlos_median() + v.nlos_median() + d.los_median() + v.nlos_worst())
+        });
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let scale = bench_scale();
+    let base = ScenarioConfig::paper_dsrc_default();
+    let profile = base.profile();
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("fig7a_wN_dsrc", base),
+        ("fig7a_mN_dsrc", base.with_attack_range(profile.nlos_median())),
+        (
+            "fig7b_wN_cv2x",
+            ScenarioConfig::paper_default(geonet_radio::AccessTechnology::CV2x),
+        ),
+        (
+            "fig7c_ttl5",
+            base.with_loct_ttl(geonet_sim::SimDuration::from_secs(5)),
+        ),
+        ("fig7d_spacing100", base.with_spacing(100.0)),
+        ("fig7e_twoway", base.with_two_way(true)),
+    ] {
+        let r = interarea::run_ab(&cfg, name, scale, 42);
+        report(name, "gamma", r.gamma());
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(interarea::run_one(
+                    &cfg.with_duration(scale.duration()),
+                    true,
+                    seed,
+                ))
+            });
+        });
+    }
+    group.finish();
+
+    // Figure 8 is the accumulated series over the same runs.
+    c.bench_function("fig8_accumulated_series", |b| {
+        let r = interarea::run_ab(&base, "fig8", scale, 42);
+        b.iter(|| black_box(r.accumulated_drop_series()));
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let scale = bench_scale();
+    let base = ScenarioConfig::paper_dsrc_default();
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("fig9a_500m_dsrc", base.with_attack_range(500.0)),
+        ("fig9a_mN_dsrc", base.with_attack_range(486.0)),
+        (
+            "fig9b_mN_cv2x",
+            ScenarioConfig::paper_default(geonet_radio::AccessTechnology::CV2x)
+                .with_attack_range(593.0),
+        ),
+        (
+            "fig9c_ttl5",
+            base.with_attack_range(486.0)
+                .with_loct_ttl(geonet_sim::SimDuration::from_secs(5)),
+        ),
+        ("fig9d_spacing100", base.with_attack_range(486.0).with_spacing(100.0)),
+        ("fig9e_twoway", base.with_attack_range(486.0).with_two_way(true)),
+    ] {
+        let r = intraarea::run_ab(&cfg, name, scale, 42);
+        report(name, "lambda", r.gamma());
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(intraarea::run_one(
+                    &cfg.with_duration(scale.duration()),
+                    true,
+                    seed,
+                ))
+            });
+        });
+    }
+    group.finish();
+
+    // The §IV-A source-location split. (The 28 m fully-covered zone only
+    // collects samples at larger scales; `repro fig9src` reports it.)
+    let (inside, outside) = intraarea::fig9_source_split(bench_scale(), 42);
+    report("fig9src", "inside", inside.gamma());
+    report("fig9src", "outside", outside.gamma());
+    let mut group = c.benchmark_group("fig9src");
+    group.sample_size(10);
+    group.bench_function("fig9_source_split", |b| {
+        b.iter(|| black_box(intraarea::fig9_source_split(bench_scale(), 43)));
+    });
+    group.finish();
+
+    c.bench_function("fig10_accumulated_series", |b| {
+        let r = intraarea::run_ab(&base.with_attack_range(486.0), "fig10", bench_scale(), 42);
+        b.iter(|| black_box(r.accumulated_drop_series()));
+    });
+}
+
+fn bench_impact_and_safety(c: &mut Criterion) {
+    let mut group = c.benchmark_group("impact");
+    group.sample_size(10);
+    group.bench_function("fig12a_gf_case", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(impact::run_case(impact::ImpactCase::GfNotification, true, 30, seed))
+        });
+    });
+    group.bench_function("fig12b_cbf_case", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(impact::run_case(impact::ImpactCase::CbfNotification, true, 30, seed))
+        });
+    });
+    group.finish();
+    let (af, atk) = impact::fig12b(60, 42);
+    report("fig12b", "af informed", af.informed_at_s.map(|_| 1.0));
+    report("fig12b", "atk informed", atk.informed_at_s.map(|_| 1.0));
+
+    c.bench_function("fig13_curve_case_study", |b| {
+        b.iter(|| black_box(safety::fig13()));
+    });
+    let (saf, satk) = safety::fig13();
+    report("fig13", "af collision", Some(f64::from(u8::from(saf.collision))));
+    report("fig13", "atk collision", Some(f64::from(u8::from(satk.collision))));
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.bench_function("fig14a_plausibility", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(mitigation::fig14a(scale, seed))
+        });
+    });
+    group.bench_function("fig14b_rhl_check", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(mitigation::fig14b(scale, seed))
+        });
+    });
+    group.finish();
+    for r in mitigation::fig14a(scale, 42) {
+        report("fig14a", &r.label, r.improvement());
+    }
+    for r in mitigation::fig14b(scale, 42) {
+        report("fig14b", &r.label, r.improvement());
+    }
+}
+
+criterion_group! {
+    name = figures;
+    config = {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(std::time::Duration::from_secs(8))
+            .warm_up_time(std::time::Duration::from_secs(1));
+        configure(&mut c);
+        c
+    };
+    targets = bench_tables, bench_fig7, bench_fig9, bench_impact_and_safety, bench_fig14
+}
+criterion_main!(figures);

@@ -1,0 +1,164 @@
+//! Microbenchmarks of the hot paths: wire codecs, the security envelope,
+//! location-table operations, greedy selection, CBF bookkeeping, the
+//! radio medium and raw event-loop throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geonet::wire::GnPacket;
+use geonet::{
+    greedy_select, CbfBuffer, CbfParams, CertificateAuthority, GnAddress, LocationTable,
+    LongPositionVector, SequenceNumber,
+};
+use geonet_geo::{Area, GeoReference, Heading, Position};
+use geonet_radio::Medium;
+use geonet_scenarios::{ScenarioConfig, World};
+use geonet_sim::{SimDuration, SimTime};
+use geonet_traffic::{RoadConfig, TrafficSim};
+use std::hint::black_box;
+
+fn pv(addr: u64, x: f64) -> LongPositionVector {
+    LongPositionVector::from_sim(
+        GnAddress::vehicle(addr),
+        SimTime::from_secs(1),
+        Position::new(x, 2.5),
+        30.0,
+        Heading::EAST,
+        &GeoReference::default(),
+    )
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let r = GeoReference::default();
+    let area = Area::circle(Position::new(4_020.0, 0.0), 40.0);
+    let packet = GnPacket::geobroadcast(SequenceNumber(1), pv(1, 100.0), &area, &r, vec![0; 32], 10);
+    let bytes = packet.encode();
+
+    c.bench_function("wire_encode_gbc", |b| b.iter(|| black_box(packet.encode())));
+    c.bench_function("wire_decode_gbc", |b| {
+        b.iter(|| black_box(GnPacket::decode(&bytes).expect("valid")))
+    });
+    let beacon = GnPacket::beacon(pv(1, 100.0));
+    c.bench_function("wire_encode_beacon", |b| b.iter(|| black_box(beacon.encode())));
+}
+
+fn bench_security(c: &mut Criterion) {
+    let ca = CertificateAuthority::new(1);
+    let creds = ca.enroll(GnAddress::vehicle(1));
+    let verifier = ca.verifier();
+    let beacon = GnPacket::beacon(pv(1, 100.0));
+    let signed = creds.sign(beacon.clone());
+
+    c.bench_function("security_sign_beacon", |b| {
+        b.iter(|| black_box(creds.sign(beacon.clone())))
+    });
+    c.bench_function("security_verify_beacon", |b| {
+        b.iter(|| black_box(verifier.verify(&signed)))
+    });
+}
+
+fn bench_loct_and_gf(c: &mut Criterion) {
+    let now = SimTime::from_secs(5);
+    let mut loct = LocationTable::new(SimDuration::from_secs(20));
+    for i in 0..64u64 {
+        let p = pv(i, i as f64 * 30.0);
+        loct.update(p, Position::new(i as f64 * 30.0, 2.5), now);
+    }
+    c.bench_function("loct_update", |b| {
+        let p = pv(99, 1_000.0);
+        b.iter(|| loct.update(black_box(p), Position::new(1_000.0, 2.5), now));
+    });
+    c.bench_function("gf_select_64_neighbors", |b| {
+        b.iter(|| {
+            black_box(greedy_select(
+                &loct,
+                GnAddress::vehicle(999),
+                Position::new(960.0, 2.5),
+                Position::new(4_020.0, 0.0),
+                None,
+                Some(486.0),
+                now,
+            ))
+        });
+    });
+}
+
+fn bench_cbf(c: &mut Criterion) {
+    let params = CbfParams::default_for_dist_max(1_283.0);
+    let ca = CertificateAuthority::new(1);
+    let creds = ca.enroll(GnAddress::vehicle(1));
+    let r = GeoReference::default();
+    let area = Area::rectangle(Position::new(2_000.0, 0.0), 2_050.0, 25.0, 90.0);
+
+    c.bench_function("cbf_first_copy_and_expire", |b| {
+        let mut sn = 0u16;
+        let mut buf = CbfBuffer::new();
+        b.iter(|| {
+            sn = sn.wrapping_add(1);
+            let packet = creds.sign(GnPacket::geobroadcast(
+                SequenceNumber(sn),
+                pv(1, 1_000.0),
+                &area,
+                &r,
+                vec![1],
+                10,
+            ));
+            let v = buf.on_packet(
+                &packet,
+                Position::new(1_000.0, 2.5),
+                Position::new(1_400.0, 2.5),
+                &params,
+                SimTime::from_secs(1),
+            );
+            if let geonet::CbfVerdict::FirstCopy { contend: Some((_, generation)) } = v {
+                let key = geonet::PacketKey::of(&packet).expect("gbc");
+                black_box(buf.take_expired(key, generation));
+            }
+        });
+    });
+}
+
+fn bench_medium_and_traffic(c: &mut Criterion) {
+    let mut medium = Medium::new();
+    for i in 0..200 {
+        medium.register(Position::new(f64::from(i) * 20.0, 2.5), 486.0);
+    }
+    c.bench_function("medium_receivers_200_nodes", |b| {
+        b.iter(|| black_box(medium.receivers(geonet_radio::NodeId(100))));
+    });
+
+    c.bench_function("traffic_step_133_vehicles", |b| {
+        let mut sim = TrafficSim::new(RoadConfig::paper_default());
+        b.iter(|| {
+            sim.step(0.1);
+            black_box(sim.count_on_road())
+        });
+    });
+}
+
+fn bench_world_throughput(c: &mut Criterion) {
+    // End-to-end event throughput: one simulated second of the full
+    // default world (traffic + beacons + deliveries).
+    let mut group = c.benchmark_group("world");
+    group.sample_size(10);
+    group.bench_function("world_one_simulated_second", |b| {
+        let cfg = ScenarioConfig::paper_dsrc_default()
+            .with_duration(SimDuration::from_secs(3_600));
+        let mut w = World::new(cfg, None, 42);
+        let mut t = 0;
+        b.iter(|| {
+            t += 1;
+            w.run_until(SimTime::from_secs(t));
+            black_box(w.traffic().count_on_road())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_wire, bench_security, bench_loct_and_gf, bench_cbf,
+              bench_medium_and_traffic, bench_world_throughput
+}
+criterion_main!(micro);

@@ -1,0 +1,115 @@
+//! Link-layer frames.
+
+use crate::security::SecuredPacket;
+use crate::types::GnAddress;
+use geonet_geo::Position;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A link-layer frame as it travels on the air.
+///
+/// The link layer is **unauthenticated** (only the GeoNetworking payload is
+/// signed), so the source field is just a claim — an attacker can use any
+/// pseudonymous source address, as the paper's threat model allows for
+/// privacy reasons.
+///
+/// `sender_position` models what a receiver learns about the transmitter
+/// from the access layer and its location table: CBF uses it to compute
+/// the contention timeout relative to the previous hop. For legitimate
+/// nodes it is the transmitter's true position at transmission time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Claimed link-layer source.
+    pub src: GnAddress,
+    /// Link-layer destination: `Some` for unicast (GF forwarding),
+    /// `None` for broadcast (beacons, CBF).
+    pub dst: Option<GnAddress>,
+    /// Transmitter position at transmission time.
+    pub sender_position: Position,
+    /// The secured GeoNetworking packet.
+    pub msg: SecuredPacket,
+}
+
+impl Frame {
+    /// Creates a broadcast frame.
+    #[must_use]
+    pub fn broadcast(src: GnAddress, sender_position: Position, msg: SecuredPacket) -> Self {
+        Frame { src, dst: None, sender_position, msg }
+    }
+
+    /// Creates a unicast frame to `dst`.
+    #[must_use]
+    pub fn unicast(
+        src: GnAddress,
+        dst: GnAddress,
+        sender_position: Position,
+        msg: SecuredPacket,
+    ) -> Self {
+        Frame { src, dst: Some(dst), sender_position, msg }
+    }
+
+    /// Whether this frame should be processed by `addr`'s network layer:
+    /// broadcasts by everyone, unicasts by the addressee only.
+    ///
+    /// A promiscuous sniffer (the attacker) ignores this filter.
+    #[must_use]
+    pub fn addressed_to(&self, addr: GnAddress) -> bool {
+        match self.dst {
+            None => true,
+            Some(d) => d == addr,
+        }
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dst {
+            None => write!(f, "frame[{} → *]", self.src),
+            Some(d) => write!(f, "frame[{} → {}]", self.src, d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pv::LongPositionVector;
+    use crate::security::CertificateAuthority;
+    use crate::wire::GnPacket;
+    use geonet_geo::{GeoReference, Heading};
+    use geonet_sim::SimTime;
+
+    fn beacon_msg(addr: GnAddress) -> SecuredPacket {
+        let ca = CertificateAuthority::new(1);
+        let creds = ca.enroll(addr);
+        let pv = LongPositionVector::from_sim(
+            addr,
+            SimTime::ZERO,
+            Position::ORIGIN,
+            0.0,
+            Heading::NORTH,
+            &GeoReference::default(),
+        );
+        creds.sign(GnPacket::beacon(pv))
+    }
+
+    #[test]
+    fn broadcast_addressed_to_everyone() {
+        let a = GnAddress::vehicle(1);
+        let f = Frame::broadcast(a, Position::ORIGIN, beacon_msg(a));
+        assert!(f.addressed_to(GnAddress::vehicle(2)));
+        assert!(f.addressed_to(a));
+        assert!(f.to_string().contains("→ *"));
+    }
+
+    #[test]
+    fn unicast_addressed_to_destination_only() {
+        let a = GnAddress::vehicle(1);
+        let b = GnAddress::vehicle(2);
+        let f = Frame::unicast(a, b, Position::ORIGIN, beacon_msg(a));
+        assert!(f.addressed_to(b));
+        assert!(!f.addressed_to(a));
+        assert!(!f.addressed_to(GnAddress::vehicle(3)));
+        assert!(f.to_string().contains("vehicle"));
+    }
+}

@@ -1,0 +1,367 @@
+//! The unit-disk broadcast medium.
+
+use geonet_geo::Position;
+use geonet_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a node registered on the radio medium.
+///
+/// The scenario layer keeps `NodeId` aligned with its own vehicle /
+/// roadside-unit / attacker indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Per-node radio state.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    position: Position,
+    tx_range: f64,
+    active: bool,
+}
+
+/// A unit-disk broadcast medium.
+///
+/// Nodes register with a position and a transmission range. A broadcast
+/// from node `s` is heard by exactly the active nodes within `s`'s
+/// effective range of `s`'s position — the model the paper inherits from
+/// its simulator, with ranges calibrated by the Utah DOT field test.
+///
+/// The medium is pure geometry: it answers *who hears this transmission*
+/// and *after what propagation delay*; scheduling the deliveries is the
+/// caller's job (see `geonet-scenarios`). This split keeps the medium
+/// trivially testable and the event loop in one place.
+#[derive(Debug, Default)]
+pub struct Medium {
+    entries: Vec<Entry>,
+}
+
+impl Medium {
+    /// Creates an empty medium.
+    #[must_use]
+    pub fn new() -> Self {
+        Medium { entries: Vec::new() }
+    }
+
+    /// Registers a node at `position` with transmission range `tx_range`
+    /// metres and returns its id. Ids are dense indices assigned in
+    /// registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx_range` is not finite and non-negative, or if the
+    /// position is not finite.
+    pub fn register(&mut self, position: Position, tx_range: f64) -> NodeId {
+        assert!(position.is_finite(), "non-finite position");
+        assert!(tx_range.is_finite() && tx_range >= 0.0, "invalid tx range: {tx_range}");
+        let id = NodeId(u32::try_from(self.entries.len()).expect("too many nodes"));
+        self.entries.push(Entry { position, tx_range, active: true });
+        id
+    }
+
+    /// Number of registered nodes (active or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no nodes are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current position of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this medium.
+    #[must_use]
+    pub fn position(&self, id: NodeId) -> Position {
+        self.entries[id.index()].position
+    }
+
+    /// Moves `id` to `position` (vehicles update every traffic step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the position is not finite.
+    pub fn set_position(&mut self, id: NodeId, position: Position) {
+        assert!(position.is_finite(), "non-finite position");
+        self.entries[id.index()].position = position;
+    }
+
+    /// The configured transmission range of `id`, metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    #[must_use]
+    pub fn tx_range(&self, id: NodeId) -> f64 {
+        self.entries[id.index()].tx_range
+    }
+
+    /// Reconfigures the transmission range of `id` (power control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the range invalid.
+    pub fn set_tx_range(&mut self, id: NodeId, tx_range: f64) {
+        assert!(tx_range.is_finite() && tx_range >= 0.0, "invalid tx range: {tx_range}");
+        self.entries[id.index()].tx_range = tx_range;
+    }
+
+    /// Whether `id` currently participates in the medium.
+    #[must_use]
+    pub fn is_active(&self, id: NodeId) -> bool {
+        self.entries[id.index()].active
+    }
+
+    /// Activates or deactivates `id`. Inactive nodes neither hear nor are
+    /// counted as receivers (used for vehicles that have left the road).
+    pub fn set_active(&mut self, id: NodeId, active: bool) {
+        self.entries[id.index()].active = active;
+    }
+
+    /// The nodes that hear a broadcast from `sender` at its configured
+    /// range, in ascending id order (deterministic). The sender itself is
+    /// excluded; inactive nodes are excluded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is unknown.
+    #[must_use]
+    pub fn receivers(&self, sender: NodeId) -> Vec<NodeId> {
+        self.receivers_within(sender, self.tx_range(sender))
+    }
+
+    /// Like [`Medium::receivers`] but with the sender's power capped so the
+    /// effective range is `min(configured, cap_range)`. Models the
+    /// attacker's transmission-power control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is unknown or `cap_range` is invalid.
+    #[must_use]
+    pub fn receivers_within(&self, sender: NodeId, cap_range: f64) -> Vec<NodeId> {
+        assert!(cap_range.is_finite() && cap_range >= 0.0, "invalid cap range: {cap_range}");
+        let s = &self.entries[sender.index()];
+        if !s.active {
+            return Vec::new();
+        }
+        let range = s.tx_range.min(cap_range);
+        let mut out = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if i == sender.index() || !e.active {
+                continue;
+            }
+            if s.position.within_range(e.position, range) {
+                out.push(NodeId(i as u32));
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if a broadcast from `sender` reaches `receiver` —
+    /// i.e. `receiver` is active and within `sender`'s configured range.
+    ///
+    /// Note the asymmetry: reachability is determined by the *sender's*
+    /// range (the attacker transmits farther than vehicles by raising its
+    /// power, without hearing farther).
+    #[must_use]
+    pub fn reaches(&self, sender: NodeId, receiver: NodeId) -> bool {
+        let s = &self.entries[sender.index()];
+        let r = &self.entries[receiver.index()];
+        s.active
+            && r.active
+            && sender != receiver
+            && s.position.within_range(r.position, s.tx_range)
+    }
+
+    /// Propagation delay between two nodes: distance over the speed of
+    /// light, rounded up to at least one microsecond so that a transmission
+    /// and its reception never share a timestamp.
+    #[must_use]
+    pub fn propagation_delay(&self, a: NodeId, b: NodeId) -> SimDuration {
+        let d = self.entries[a.index()].position.distance(self.entries[b.index()].position);
+        let us = (d / 299.792_458).ceil().max(1.0); // metres per µs of light
+        SimDuration::from_micros(us as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn medium_with_line(ranges: &[f64], spacing: f64) -> (Medium, Vec<NodeId>) {
+        let mut m = Medium::new();
+        let ids = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| m.register(Position::new(i as f64 * spacing, 0.0), r))
+            .collect();
+        (m, ids)
+    }
+
+    #[test]
+    fn receivers_respect_sender_range() {
+        let (m, ids) = medium_with_line(&[500.0; 4], 400.0);
+        // Node 0 at x=0 with 500 m range hears only node 1 at 400 m.
+        assert_eq!(m.receivers(ids[0]), vec![ids[1]]);
+        // Node 1 reaches both neighbours.
+        assert_eq!(m.receivers(ids[1]), vec![ids[0], ids[2]]);
+    }
+
+    #[test]
+    fn asymmetric_ranges() {
+        let mut m = Medium::new();
+        let strong = m.register(Position::new(0.0, 0.0), 1_000.0);
+        let weak = m.register(Position::new(800.0, 0.0), 300.0);
+        assert!(m.reaches(strong, weak));
+        assert!(!m.reaches(weak, strong));
+        assert_eq!(m.receivers(strong), vec![weak]);
+        assert!(m.receivers(weak).is_empty());
+    }
+
+    #[test]
+    fn power_cap_shrinks_range() {
+        let (m, ids) = medium_with_line(&[1_000.0; 3], 400.0);
+        assert_eq!(m.receivers(ids[0]).len(), 2);
+        assert_eq!(m.receivers_within(ids[0], 500.0), vec![ids[1]]);
+        assert!(m.receivers_within(ids[0], 100.0).is_empty());
+        // Cap above configured range has no effect.
+        assert_eq!(m.receivers_within(ids[0], 5_000.0).len(), 2);
+    }
+
+    #[test]
+    fn inactive_nodes_do_not_participate() {
+        let (mut m, ids) = medium_with_line(&[500.0; 3], 100.0);
+        m.set_active(ids[1], false);
+        assert_eq!(m.receivers(ids[0]), vec![ids[2]]);
+        assert!(m.receivers(ids[1]).is_empty());
+        assert!(!m.reaches(ids[0], ids[1]));
+        m.set_active(ids[1], true);
+        assert_eq!(m.receivers(ids[0]), vec![ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn sender_never_hears_itself() {
+        let (m, ids) = medium_with_line(&[500.0; 2], 10.0);
+        assert!(!m.receivers(ids[0]).contains(&ids[0]));
+        assert!(!m.reaches(ids[0], ids[0]));
+    }
+
+    #[test]
+    fn positions_update() {
+        let (mut m, ids) = medium_with_line(&[500.0; 2], 1_000.0);
+        assert!(m.receivers(ids[0]).is_empty());
+        m.set_position(ids[1], Position::new(100.0, 0.0));
+        assert_eq!(m.receivers(ids[0]), vec![ids[1]]);
+        assert_eq!(m.position(ids[1]).x, 100.0);
+    }
+
+    #[test]
+    fn range_boundary_is_inclusive() {
+        let mut m = Medium::new();
+        let a = m.register(Position::new(0.0, 0.0), 486.0);
+        let b = m.register(Position::new(486.0, 0.0), 486.0);
+        assert!(m.reaches(a, b));
+        m.set_position(b, Position::new(486.01, 0.0));
+        assert!(!m.reaches(a, b));
+    }
+
+    #[test]
+    fn propagation_delay_minimum_one_microsecond() {
+        let (m, ids) = medium_with_line(&[500.0; 2], 0.5);
+        assert_eq!(m.propagation_delay(ids[0], ids[1]), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn propagation_delay_scales_with_distance() {
+        let mut m = Medium::new();
+        let a = m.register(Position::new(0.0, 0.0), 5_000.0);
+        let b = m.register(Position::new(2_997.924_58, 0.0), 5_000.0);
+        assert_eq!(m.propagation_delay(a, b), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn set_tx_range_reconfigures() {
+        let (mut m, ids) = medium_with_line(&[100.0; 2], 400.0);
+        assert!(!m.reaches(ids[0], ids[1]));
+        m.set_tx_range(ids[0], 500.0);
+        assert!(m.reaches(ids[0], ids[1]));
+        assert_eq!(m.tx_range(ids[0]), 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tx range")]
+    fn register_rejects_nan_range() {
+        let mut m = Medium::new();
+        let _ = m.register(Position::ORIGIN, f64::NAN);
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId(7);
+        assert_eq!(id.to_string(), "n7");
+        assert_eq!(id.index(), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_receivers_sorted_and_within_range(
+            positions in prop::collection::vec((-5_000.0f64..5_000.0, -20.0f64..20.0), 2..40),
+            range in 10.0f64..2_000.0)
+        {
+            let mut m = Medium::new();
+            let ids: Vec<NodeId> =
+                positions.iter().map(|&(x, y)| m.register(Position::new(x, y), range)).collect();
+            let sender = ids[0];
+            let rx = m.receivers(sender);
+            // Sorted ascending, unique, excludes sender, all within range.
+            prop_assert!(rx.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!rx.contains(&sender));
+            for &r in &rx {
+                prop_assert!(m.position(sender).distance(m.position(r)) <= range + 1e-9);
+            }
+            // Complement: everyone not in the list is out of range (or the sender).
+            for &id in &ids[1..] {
+                if !rx.contains(&id) {
+                    prop_assert!(m.position(sender).distance(m.position(id)) > range - 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_cap_monotone(positions in prop::collection::vec((-2_000.0f64..2_000.0, -20.0f64..20.0), 2..30),
+                             cap1 in 0.0f64..2_000.0, cap2 in 0.0f64..2_000.0) {
+            let mut m = Medium::new();
+            let ids: Vec<NodeId> = positions
+                .iter()
+                .map(|&(x, y)| m.register(Position::new(x, y), 2_000.0))
+                .collect();
+            let (lo, hi) = if cap1 <= cap2 { (cap1, cap2) } else { (cap2, cap1) };
+            let rx_lo = m.receivers_within(ids[0], lo);
+            let rx_hi = m.receivers_within(ids[0], hi);
+            // A bigger cap can only add receivers.
+            for r in &rx_lo {
+                prop_assert!(rx_hi.contains(r));
+            }
+        }
+    }
+}

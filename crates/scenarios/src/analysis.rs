@@ -1,0 +1,170 @@
+//! First-order analytical models of both attacks.
+//!
+//! The simulation reproduces the paper's numbers; this module *explains*
+//! them with closed-form geometry, and the tests hold the two accountable
+//! to each other.
+//!
+//! # Blockage (λ)
+//!
+//! The intra-area attacker suppresses the CBF flood wherever its replay
+//! out-ranges the legitimate forwarders. For an attacker at `a` with
+//! attack range `r ≥ v` (the vehicle range) on a road `[0, L]`:
+//!
+//! * a source east of the covered area loses every receiver west of
+//!   `a − r` (the replay itself still delivers within `[a − r, a + r]`);
+//! * symmetrically for western sources;
+//! * a source inside the *fully covered area* (`|x − a| ≤ r − v`) is
+//!   blocked in both directions: only `[a − r, a + r]` receives.
+//!
+//! Averaging the blocked fraction over a uniform source position yields
+//! λ. For `r < v` the replay cannot reach all candidate forwarders and
+//! suppression only succeeds when the flood's transmitter lands deep
+//! enough inside the coverage; the model scales the blocked mass by that
+//! coverage probability.
+//!
+//! # Interception (γ)
+//!
+//! The inter-area attacker poisons a forwarder's location table whenever
+//! it can replay a beacon of a vehicle beyond the forwarder's own range:
+//! a forwarder at `x` (covered, `|x − a| ≤ r`) is *killed* eastbound when
+//! the farthest replayed candidate, at `a + r`, lies beyond `x + v` —
+//! i.e. the eastbound **kill zone** is `[a − r, a + r − v)`, of width
+//! `max(0, 2r − v)`. A greedy chain advances by roughly one radio range
+//! per hop (minus the mean beacon-staleness backoff), so the chance that
+//! a chain crossing the covered area puts a hop inside the kill zone is
+//! ≈ `min(1, width / hop)`. That is the predicted γ.
+
+use crate::config::ScenarioConfig;
+
+/// Mean greedy hop length: the radio range minus the average advertised-
+/// position staleness of the winning neighbour (≈ half a beacon period at
+/// 30 m/s).
+fn mean_hop(cfg: &ScenarioConfig) -> f64 {
+    let staleness = cfg.gn.beacon_interval.as_secs_f64() / 2.0 * cfg.road.entry_speed;
+    (cfg.v2v_range - staleness).max(cfg.v2v_range * 0.5)
+}
+
+/// Predicted inter-area interception rate γ for the configuration's
+/// attacker geometry (paper Figure 7 family).
+#[must_use]
+pub fn predicted_gamma(cfg: &ScenarioConfig) -> f64 {
+    let kill_width = (2.0 * cfg.attack_range - cfg.v2v_range).max(0.0);
+    (kill_width / mean_hop(cfg)).min(1.0)
+}
+
+/// Predicted intra-area blockage rate λ for the configuration's attacker
+/// geometry (paper Figure 9 family).
+#[must_use]
+pub fn predicted_lambda(cfg: &ScenarioConfig) -> f64 {
+    let l = cfg.road.length;
+    let a = cfg.attacker_position.x;
+    let r = cfg.attack_range;
+    let v = cfg.v2v_range;
+
+    // Suppression succeeds only if the replay reaches every candidate
+    // forwarder of the transmission it answers. With r ≥ v that is
+    // guaranteed once the transmitter is inside the coverage; with r < v
+    // only transmitters within 2r − v of the attacker are fully covered,
+    // and the flood's hop positions are ~uniform over the vehicle range.
+    let coverage_probability = ((2.0 * r - v) / v).clamp(0.0, 1.0);
+
+    // Blocked fraction per source position, averaged over x ~ U(0, L).
+    let fully_covered_half = (r - v).max(0.0);
+    let west_zone = (a - fully_covered_half).max(0.0); // sources west of the covered area
+    let east_zone = (l - (a + fully_covered_half)).max(0.0);
+    let covered_zone = l - west_zone - east_zone;
+
+    // Sources west of the attacker: everything east of a + r is lost.
+    let blocked_west_sources = ((l - (a + r)) / l).max(0.0);
+    // Sources east of the attacker: everything west of a − r is lost.
+    let blocked_east_sources = ((a - r) / l).max(0.0);
+    // Fully-covered sources: only [a − r, a + r] receives.
+    let blocked_covered = (1.0 - (2.0 * r / l)).max(0.0);
+
+    let expected_blocked = (west_zone / l) * blocked_west_sources
+        + (east_zone / l) * blocked_east_sources
+        + (covered_zone / l) * blocked_covered;
+    expected_blocked * coverage_probability
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+    use crate::{interarea, intraarea};
+
+    fn assert_close(label: &str, predicted: f64, simulated: f64, tolerance: f64) {
+        assert!(
+            (predicted - simulated).abs() <= tolerance,
+            "{label}: predicted {predicted:.3} vs simulated {simulated:.3} (tol {tolerance})"
+        );
+    }
+
+    #[test]
+    fn lambda_model_matches_paper_geometry() {
+        // Closed-form against the paper's own numbers (no simulation).
+        let base = ScenarioConfig::paper_dsrc_default();
+        // 500 m attacker: the paper's 38 % family.
+        let tuned = predicted_lambda(&base.with_attack_range(500.0));
+        assert_close("λ(500m) vs paper 0.385", tuned, 0.385, 0.05);
+        // mN (486 m = v): marginal full coverage.
+        let mn = predicted_lambda(&base.with_attack_range(486.0));
+        assert_close("λ(mN) vs paper 0.385", mn, 0.385, 0.06);
+        // Non-monotonicity: mL blocks less than the tuned range.
+        let ml = predicted_lambda(&base.with_attack_range(1_283.0));
+        assert!(ml < tuned, "model must reproduce the non-monotonicity");
+        // wN (327 m < v): partial coverage only.
+        let wn = predicted_lambda(&base.with_attack_range(327.0));
+        assert!(wn < mn, "under-ranged attacker must block less");
+    }
+
+    #[test]
+    fn gamma_model_matches_paper_geometry() {
+        let base = ScenarioConfig::paper_dsrc_default();
+        // wN: kill zone 2·327 − 486 = 168 m against a ≈440 m hop.
+        let wn = predicted_gamma(&base);
+        assert_close("γ(wN) vs paper 0.468", wn, 0.468, 0.10);
+        // mN and mL saturate.
+        assert!(predicted_gamma(&base.with_attack_range(486.0)) > 0.95);
+        assert!((predicted_gamma(&base.with_attack_range(1_283.0)) - 1.0).abs() < 1e-9);
+        // C-V2X wN: smaller kill zone relative to hop ⇒ lower γ than DSRC.
+        let cv2x = ScenarioConfig::paper_default(geonet_radio::AccessTechnology::CV2x);
+        assert!(predicted_gamma(&cv2x) < wn, "C-V2X must predict less vulnerable");
+    }
+
+    #[test]
+    fn lambda_model_matches_simulation() {
+        let scale = Scale { runs: 2, duration_s: 60 };
+        let base = ScenarioConfig::paper_dsrc_default();
+        for (label, range, tol) in
+            [("500m", 500.0, 0.08), ("mN", 486.0, 0.08), ("mL", 1_283.0, 0.12)]
+        {
+            let cfg = base.with_attack_range(range);
+            let sim = intraarea::run_ab(&cfg, label, scale, 71).gamma().unwrap();
+            assert_close(label, predicted_lambda(&cfg), sim, tol);
+        }
+    }
+
+    #[test]
+    fn gamma_model_matches_simulation() {
+        let scale = Scale { runs: 2, duration_s: 60 };
+        let base = ScenarioConfig::paper_dsrc_default();
+        for (label, range, tol) in [("wN", 327.0, 0.15), ("mN", 486.0, 0.05)] {
+            let cfg = base.with_attack_range(range);
+            let sim = interarea::run_ab(&cfg, label, scale, 72).gamma().unwrap();
+            assert_close(label, predicted_gamma(&cfg), sim, tol);
+        }
+    }
+
+    #[test]
+    fn models_are_bounded() {
+        let base = ScenarioConfig::paper_dsrc_default();
+        for r in [50.0, 327.0, 486.0, 500.0, 700.0, 1_283.0, 1_703.0, 3_000.0] {
+            let cfg = base.with_attack_range(r);
+            let g = predicted_gamma(&cfg);
+            let l = predicted_lambda(&cfg);
+            assert!((0.0..=1.0).contains(&g), "γ({r}) = {g}");
+            assert!((0.0..=1.0).contains(&l), "λ({r}) = {l}");
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--runs N] [--duration SECS] [--seed S] [--csv] <experiment>...
+//! ```
+//!
+//! Experiments: `table1 table2 fig7a fig7b fig7c fig7d fig7e fig8
+//! fig9a fig9b fig9c fig9d fig9e fig9src fig10 fig12a fig12b fig13
+//! fig14a fig14b all`, plus the beyond-the-paper extensions `ext-ack`,
+//! `ext-loss` and `ext-mobile`.
+//!
+//! Defaults to a reduced scale (5 runs × 100 s); pass `--runs 100
+//! --duration 200` for the paper's full scale.
+
+use geonet_radio::RangeProfile;
+use geonet_scenarios::config::Scale;
+use geonet_scenarios::report::{render_table, series_to_csv, to_csv, ExperimentRow};
+use geonet_scenarios::{
+    analysis, extensions, impact, interarea, intraarea, mitigation, safety, AbResult,
+};
+use geonet_traffic::IdmParams;
+use std::process::ExitCode;
+
+struct Options {
+    scale: Scale,
+    seed: u64,
+    csv: bool,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut scale = Scale { runs: 5, duration_s: 100 };
+    let mut seed = 42;
+    let mut csv = false;
+    let mut experiments = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                scale.runs = args
+                    .next()
+                    .ok_or("--runs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            "--duration" => {
+                scale.duration_s = args
+                    .next()
+                    .ok_or("--duration needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?;
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--runs N] [--duration SECS] [--seed S] [--csv] <experiment>...\n\
+                     experiments: table1 table2 fig7a fig7b fig7c fig7d fig7e fig8 fig9a fig9b\n\
+                     fig9c fig9d fig9e fig9src fig10 fig12a fig12b fig13 fig14a fig14b all"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        return Err("no experiments given (try `repro --help`)".into());
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1", "table2", "fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig8", "fig9a",
+            "fig9b", "fig9c", "fig9d", "fig9e", "fig9src", "fig10", "fig12a", "fig12b", "fig13",
+            "fig14a", "fig14b",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+    }
+    Ok(Options { scale, seed, csv, experiments })
+}
+
+fn ab_rows(experiment: &str, results: &[AbResult], paper: &[Option<f64>]) -> Vec<ExperimentRow> {
+    results
+        .iter()
+        .zip(paper.iter().chain(std::iter::repeat(&None)))
+        .map(|(r, p)| ExperimentRow::new(experiment, r.label.clone(), *p, r.gamma()))
+        .collect()
+}
+
+fn print_ab(
+    opts: &Options,
+    experiment: &str,
+    title: &str,
+    results: &[AbResult],
+    paper: &[Option<f64>],
+) {
+    let rows = ab_rows(experiment, results, paper);
+    if opts.csv {
+        print!("{}", to_csv(&rows));
+    } else {
+        println!("{}", render_table(title, &rows));
+        for r in results {
+            println!("  {r}");
+        }
+        println!();
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_experiment(opts: &Options, name: &str) -> Result<(), String> {
+    let scale = opts.scale;
+    let seed = opts.seed;
+    match name {
+        "table1" => {
+            let p = IdmParams::paper_default();
+            println!("Table I — IDM parameters\n{p}\n");
+        }
+        "table2" => {
+            println!("Table II — communication ranges");
+            println!("{}", RangeProfile::DSRC);
+            println!("{}\n", RangeProfile::CV2X);
+        }
+        "fig7a" => print_ab(
+            opts,
+            "fig7a",
+            "Figure 7a — inter-area interception vs attack range (DSRC), γ",
+            &interarea::fig7a(scale, seed),
+            &[Some(0.999), Some(0.999), Some(0.468)],
+        ),
+        "fig7b" => print_ab(
+            opts,
+            "fig7b",
+            "Figure 7b — inter-area interception vs attack range (C-V2X), γ",
+            &interarea::fig7b(scale, seed),
+            &[Some(1.0), Some(1.0), Some(0.352)],
+        ),
+        "fig7c" => print_ab(
+            opts,
+            "fig7c",
+            "Figure 7c — inter-area interception vs LocT TTL (DSRC), γ",
+            &interarea::fig7c(scale, seed),
+            &[Some(0.468), Some(0.462), Some(0.374), Some(0.979)],
+        ),
+        "fig7d" => print_ab(
+            opts,
+            "fig7d",
+            "Figure 7d — inter-area interception vs inter-vehicle space (DSRC), γ",
+            &interarea::fig7d(scale, seed),
+            &[Some(0.468), Some(0.478), Some(0.447)],
+        ),
+        "fig7e" => print_ab(
+            opts,
+            "fig7e",
+            "Figure 7e — inter-area interception vs road directions (DSRC), γ",
+            &interarea::fig7e(scale, seed),
+            &[Some(0.468), Some(0.583)],
+        ),
+        "fig8" => {
+            let series = interarea::fig8(scale, seed);
+            println!("Figure 8 — accumulated interception rate over time (DSRC)");
+            print!("{}", series_to_csv(5, &series));
+            println!();
+        }
+        "fig9a" => print_ab(
+            opts,
+            "fig9a",
+            "Figure 9a — intra-area blockage vs attack range (DSRC), λ",
+            &intraarea::fig9a(scale, seed),
+            &[None, Some(0.385), None, None],
+        ),
+        "fig9b" => print_ab(
+            opts,
+            "fig9b",
+            "Figure 9b — intra-area blockage vs attack range (C-V2X), λ",
+            &intraarea::fig9b(scale, seed),
+            &[None, Some(0.358), None, None],
+        ),
+        "fig9c" => print_ab(
+            opts,
+            "fig9c",
+            "Figure 9c — intra-area blockage vs LocT TTL (DSRC), λ",
+            &intraarea::fig9c(scale, seed),
+            &[Some(0.385), Some(0.382), Some(0.379)],
+        ),
+        "fig9d" => print_ab(
+            opts,
+            "fig9d",
+            "Figure 9d — intra-area blockage vs inter-vehicle space (DSRC), λ",
+            &intraarea::fig9d(scale, seed),
+            &[Some(0.38), Some(0.38), Some(0.38)],
+        ),
+        "fig9e" => print_ab(
+            opts,
+            "fig9e",
+            "Figure 9e — intra-area blockage vs road directions (DSRC), λ",
+            &intraarea::fig9e(scale, seed),
+            &[Some(0.385), Some(0.38)],
+        ),
+        "fig9src" => {
+            let (inside, outside) = intraarea::fig9_source_split(scale, seed);
+            print_ab(
+                opts,
+                "fig9src",
+                "§IV-A — blockage by source location (500 m attacker, DSRC), λ",
+                &[inside, outside],
+                &[Some(0.628), Some(0.372)],
+            );
+        }
+        "fig10" => {
+            let series = intraarea::fig10(scale, seed);
+            println!("Figure 10 — accumulated blockage rate over time (DSRC)");
+            print!("{}", series_to_csv(5, &series));
+            println!();
+        }
+        "fig12a" | "fig12b" => {
+            let duration = scale.duration_s.max(100);
+            let (af, atk) = if name == "fig12a" {
+                impact::fig12a(duration, seed)
+            } else {
+                impact::fig12b(duration, seed)
+            };
+            println!(
+                "Figure {} — vehicles on road over time",
+                if name == "fig12a" { "12a (GF case)" } else { "12b (CBF case)" }
+            );
+            println!(
+                "attacker-free: informed at {:?} s, final count {}",
+                af.informed_at_s,
+                af.final_count()
+            );
+            println!(
+                "attacked:      informed at {:?} s, final count {}",
+                atk.informed_at_s,
+                atk.final_count()
+            );
+            if opts.csv {
+                println!("t_s,af,atk");
+                for (i, &(t, n)) in af.samples.iter().enumerate() {
+                    let atk_n = atk.samples.get(i).map_or(0, |&(_, n)| n);
+                    println!("{t},{n},{atk_n}");
+                }
+            }
+            println!();
+        }
+        "fig13" => {
+            let (af, atk) = safety::fig13();
+            println!("Figure 13 — blind-curve case study");
+            println!(
+                "attacker-free: V2 warned = {}, collision = {} (min same-lane gap {:.1} m)",
+                af.v2_warned, af.collision, af.min_gap
+            );
+            println!(
+                "attacked:      V2 warned = {}, collision = {} at t = {:?} s",
+                atk.v2_warned, atk.collision, atk.collision_time
+            );
+            if opts.csv {
+                println!("t_s,v1_af,v2_af,v1_atk,v2_atk");
+                for i in 0..af.v1_profile.len().max(atk.v1_profile.len()) {
+                    let g = |p: &Vec<(f64, f64)>| {
+                        p.get(i).map(|&(_, v)| format!("{v:.2}")).unwrap_or_default()
+                    };
+                    let t =
+                        af.v1_profile.get(i).or(atk.v1_profile.get(i)).map_or(0.0, |&(t, _)| t);
+                    println!(
+                        "{t:.1},{},{},{},{}",
+                        g(&af.v1_profile),
+                        g(&af.v2_profile),
+                        g(&atk.v1_profile),
+                        g(&atk.v2_profile)
+                    );
+                }
+            }
+            println!();
+        }
+        "fig14a" => {
+            println!("Figure 14a — GF plausibility-check mitigation (DSRC)");
+            println!("(paper: +53.7 / +61.6 / +53.4 pts under wN/mN/mL; af 54.4% → 94.3%)");
+            for r in mitigation::fig14a(scale, seed) {
+                println!("  {r}");
+            }
+            println!();
+        }
+        "fig14b" => {
+            println!("Figure 14b — CBF RHL-drop-check mitigation (DSRC)");
+            println!("(paper: reception realigned with the attacker-free level)");
+            for r in mitigation::fig14b(scale, seed) {
+                println!("  {r}");
+            }
+            println!();
+        }
+        "analysis" => {
+            println!("Closed-form geometry model vs the paper (no simulation)");
+            let base = geonet_scenarios::ScenarioConfig::paper_dsrc_default();
+            println!("inter-area γ:");
+            for (label, range, paper) in
+                [("wN", 327.0, Some(0.468)), ("mN", 486.0, Some(0.999)), ("mL", 1_283.0, Some(0.999))]
+            {
+                let g = analysis::predicted_gamma(&base.with_attack_range(range));
+                let p = paper.map_or("  —  ".to_string(), |v: f64| format!("{:5.1}%", v * 100.0));
+                println!("  {label:<4} predicted={:5.1}%  paper={p}", g * 100.0);
+            }
+            println!("intra-area λ:");
+            for (label, range, paper) in [
+                ("wN", 327.0, None),
+                ("mN", 486.0, Some(0.385)),
+                ("500m", 500.0, Some(0.385)),
+                ("mL", 1_283.0, None),
+            ] {
+                let l = analysis::predicted_lambda(&base.with_attack_range(range));
+                let p = paper.map_or("  —  ".to_string(), |v: f64| format!("{:5.1}%", v * 100.0));
+                println!("  {label:<4} predicted={:5.1}%  paper={p}", l * 100.0);
+            }
+            println!();
+        }
+        "ext-ack" => {
+            println!("Extension — the rejected mitigation: MAC ACK + retry for GF unicasts");
+            println!("(attacked reception vs the mN inter-area attacker, per channel loss)");
+            for r in extensions::ack_defense(scale, seed) {
+                println!("  {r}");
+            }
+            println!("channel load (frames on air per setting, without → with ACK):");
+            for (label, plain, acked) in extensions::ack_overhead(scale, seed) {
+                let pct = if plain > 0 {
+                    (acked as f64 / plain as f64 - 1.0) * 100.0
+                } else {
+                    0.0
+                };
+                println!("  {label:<10} {plain} → {acked} ({pct:+.1}%)");
+            }
+            println!();
+        }
+        "ext-loss" => {
+            let (inter, intra) = extensions::lossy_channel(scale, seed);
+            println!("Extension — both attacks on a lossy channel");
+            println!("inter-area (γ):");
+            for r in &inter {
+                println!("  {r}");
+            }
+            println!("intra-area (λ):");
+            for r in &intra {
+                println!("  {r}");
+            }
+            println!();
+        }
+        "ext-mobile" => {
+            println!("Extension — mobile inter-area attacker (γ vs speed)");
+            for r in extensions::moving_attacker(scale, seed) {
+                println!("  {r}");
+            }
+            println!();
+        }
+        other => return Err(format!("unknown experiment {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# scale: {} runs × {} s, seed {}",
+        opts.scale.runs, opts.scale.duration_s, opts.seed
+    );
+    for name in opts.experiments.clone() {
+        if let Err(e) = run_experiment(&opts, &name) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

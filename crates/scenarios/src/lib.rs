@@ -1,0 +1,51 @@
+//! Experiment harness reproducing the paper's evaluation (§IV–§V).
+//!
+//! This crate binds the substrates together — traffic microsimulation,
+//! unit-disk radio, per-node GeoNetworking routers and the attackers —
+//! into a deterministic discrete-event [`World`], and provides one driver
+//! per paper table/figure:
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`interarea`] | Figures 7a–7e and 8 (inter-area interception, γ) |
+//! | [`intraarea`] | Figures 9a–9e and 10 (intra-area blockage, λ) |
+//! | [`impact`] | Figure 12 (traffic-jam impact of both attacks) |
+//! | [`safety`] | Figure 13 (blind-curve collision case study) |
+//! | [`mitigation`] | Figures 14a/14b (plausibility + RHL-drop checks) |
+//! | [`extensions`] | beyond the paper: ACK defense, lossy channels, mobile attacker |
+//! | [`analysis`] | closed-form γ/λ predictions from the attack geometry |
+//!
+//! Every experiment is A/B: the same seeded world is run attacker-free
+//! (A) and attacked (B); packet reception rates are collected in 5 s time
+//! bins and γ/λ is the average per-bin drop, exactly as the paper defines
+//! them.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use geonet_scenarios::config::Scale;
+//! use geonet_scenarios::{interarea, ScenarioConfig};
+//!
+//! // One reduced-scale point of Figure 7a: DSRC, worst-NLoS attacker.
+//! let cfg = ScenarioConfig::paper_dsrc_default(); // attack range = wN (327 m)
+//! let result = interarea::run_ab(&cfg, "wN", Scale::quick(), 42);
+//! println!("γ = {:.3}", result.gamma().unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod extensions;
+pub mod impact;
+pub mod interarea;
+pub mod intraarea;
+pub mod mitigation;
+pub mod report;
+pub mod safety;
+pub mod world;
+
+pub use config::{AttackerSetup, ScenarioConfig};
+pub use report::{AbResult, ExperimentRow};
+pub use world::{NodeKind, World};

@@ -1,0 +1,213 @@
+//! Mitigation evaluation (paper Figure 14).
+//!
+//! * **Figure 14a** — the GF plausibility check (threshold = 486 m, the
+//!   median DSRC NLoS range): inter-area reception with and without the
+//!   check, against attackers with the wN / mN / mL ranges, plus the
+//!   attacker-free baseline with and without the check (the paper finds
+//!   the check helps even without an attacker, because of the naturally
+//!   stale location tables).
+//! * **Figure 14b** — the CBF RHL-drop check (threshold = 3): intra-area
+//!   reception with and without the check against wN and mN attackers.
+
+use crate::config::{Scale, ScenarioConfig};
+use crate::report::AbResult;
+use crate::{interarea, intraarea};
+use geonet::MitigationConfig;
+use geonet_sim::{SimDuration, TimeBins};
+use serde::{Deserialize, Serialize};
+
+/// One Figure 14 comparison: the same setting with the mitigation off and
+/// on (both columns are *attacked* runs unless the label says `af`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MitigationResult {
+    /// Setting label (e.g. `"wN"`, `"af"`).
+    pub label: String,
+    /// Reception bins without the mitigation.
+    pub unmitigated: TimeBins,
+    /// Reception bins with the mitigation.
+    pub mitigated: TimeBins,
+}
+
+impl MitigationResult {
+    /// Reception rate without the mitigation.
+    #[must_use]
+    pub fn unmitigated_rate(&self) -> Option<f64> {
+        self.unmitigated.overall_rate()
+    }
+
+    /// Reception rate with the mitigation.
+    #[must_use]
+    pub fn mitigated_rate(&self) -> Option<f64> {
+        self.mitigated.overall_rate()
+    }
+
+    /// Absolute improvement (percentage points / 100).
+    #[must_use]
+    pub fn improvement(&self) -> Option<f64> {
+        Some(self.mitigated_rate()? - self.unmitigated_rate()?)
+    }
+}
+
+impl std::fmt::Display for MitigationResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} without={:5.1}% with={:5.1}% (Δ {:+5.1} pts)",
+            self.label,
+            self.unmitigated_rate().unwrap_or(f64::NAN) * 100.0,
+            self.mitigated_rate().unwrap_or(f64::NAN) * 100.0,
+            self.improvement().unwrap_or(f64::NAN) * 100.0,
+        )
+    }
+}
+
+fn merged_interarea(cfg: &ScenarioConfig, attacked: bool, scale: Scale, seed: u64) -> TimeBins {
+    let cfg = cfg.with_duration(scale.duration());
+    let bin_count =
+        usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
+    let mut bins = TimeBins::new(SimDuration::from_secs(5), bin_count);
+    for i in 0..scale.runs {
+        let s = seed.wrapping_add(u64::from(i) * 0x9E37);
+        bins.merge(&interarea::run_one(&cfg, attacked, s));
+    }
+    bins
+}
+
+/// Figure 14a: the plausibility check under wN / mN / mL attackers and
+/// attacker-free, DSRC. The threshold is the vehicles' own range.
+#[must_use]
+pub fn fig14a(scale: Scale, seed: u64) -> Vec<MitigationResult> {
+    let base = ScenarioConfig::paper_dsrc_default();
+    let profile = base.profile();
+    let checked =
+        base.with_mitigations(MitigationConfig::plausibility(base.v2v_range));
+    let mut out = Vec::new();
+    for (label, range) in [
+        ("wN", profile.nlos_worst()),
+        ("mN", profile.nlos_median()),
+        ("mL", profile.los_median()),
+    ] {
+        out.push(MitigationResult {
+            label: label.to_string(),
+            unmitigated: merged_interarea(&base.with_attack_range(range), true, scale, seed),
+            mitigated: merged_interarea(&checked.with_attack_range(range), true, scale, seed),
+        });
+    }
+    // Attacker-free with and without the check: the check also cleans up
+    // natural staleness losses.
+    out.push(MitigationResult {
+        label: "af".to_string(),
+        unmitigated: merged_interarea(&base, false, scale, seed),
+        mitigated: merged_interarea(&checked, false, scale, seed),
+    });
+    out
+}
+
+/// Figure 14b: the RHL-drop check (threshold 3) under wN and mN
+/// intra-area attackers, DSRC. Also returns the attacker-free reference
+/// as an [`AbResult`]-style pair via the unmitigated baseline.
+#[must_use]
+pub fn fig14b(scale: Scale, seed: u64) -> Vec<MitigationResult> {
+    let base = ScenarioConfig::paper_dsrc_default();
+    let profile = base.profile();
+    let checked = base.with_mitigations(MitigationConfig::rhl_check(3));
+    let run = |cfg: &ScenarioConfig, attacked: bool| {
+        let cfg = cfg.with_duration(scale.duration());
+        let bin_count =
+            usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
+        let mut bins = TimeBins::new(SimDuration::from_secs(5), bin_count);
+        for i in 0..scale.runs {
+            let s = seed.wrapping_add(u64::from(i) * 0x517C);
+            bins.merge(&intraarea::outcomes_to_bins(
+                &intraarea::run_one(&cfg, attacked, s),
+                cfg.duration,
+            ));
+        }
+        bins
+    };
+    let mut out = Vec::new();
+    for (label, range) in [("wN", profile.nlos_worst()), ("mN", profile.nlos_median())] {
+        out.push(MitigationResult {
+            label: label.to_string(),
+            unmitigated: run(&base.with_attack_range(range), true),
+            mitigated: run(&checked.with_attack_range(range), true),
+        });
+    }
+    // Attacker-free reference (the mitigated attacked rates should align
+    // with this).
+    out.push(MitigationResult {
+        label: "af".to_string(),
+        unmitigated: run(&base, false),
+        mitigated: run(&checked, false),
+    });
+    out
+}
+
+/// Convenience: converts a [`MitigationResult`] of attacked runs into an
+/// [`AbResult`] whose "baseline" is the mitigated run — for reuse of the
+/// drop-rate plumbing.
+#[must_use]
+pub fn as_ab(result: &MitigationResult) -> AbResult {
+    AbResult {
+        label: result.label.clone(),
+        baseline: result.mitigated.clone(),
+        attacked: result.unmitigated.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geonet_sim::SimTime;
+
+    #[test]
+    fn plausibility_check_recovers_reception() {
+        // One tiny A/B at the mN attack range: mitigation must raise the
+        // attacked reception substantially.
+        let scale = Scale { runs: 1, duration_s: 40 };
+        let base = ScenarioConfig::paper_dsrc_default().with_attack_range(486.0);
+        let checked =
+            base.with_mitigations(MitigationConfig::plausibility(base.v2v_range));
+        let r = MitigationResult {
+            label: "mN".into(),
+            unmitigated: merged_interarea(&base, true, scale, 31),
+            mitigated: merged_interarea(&checked, true, scale, 31),
+        };
+        let delta = r.improvement().expect("rates available");
+        assert!(delta > 0.2, "plausibility check ineffective: {r}");
+    }
+
+    #[test]
+    fn rhl_check_restores_cbf_flood() {
+        let scale = Scale { runs: 1, duration_s: 30 };
+        let base = ScenarioConfig::paper_dsrc_default().with_attack_range(486.0);
+        let checked = base.with_mitigations(MitigationConfig::rhl_check(3));
+        let run = |cfg: &ScenarioConfig| {
+            let cfg = cfg.with_duration(scale.duration());
+            intraarea::outcomes_to_bins(&intraarea::run_one(&cfg, true, 77), cfg.duration)
+        };
+        let r = MitigationResult {
+            label: "mN".into(),
+            unmitigated: run(&base),
+            mitigated: run(&checked),
+        };
+        assert!(
+            r.mitigated_rate().unwrap() > 0.9,
+            "RHL check did not restore the flood: {r}"
+        );
+        assert!(r.improvement().unwrap() > 0.1, "{r}");
+    }
+
+    #[test]
+    fn result_accessors_and_display() {
+        let mut a = TimeBins::new(SimDuration::from_secs(5), 2);
+        a.record_weighted(SimTime::from_secs(1), 5, 10);
+        let mut b = TimeBins::new(SimDuration::from_secs(5), 2);
+        b.record_weighted(SimTime::from_secs(1), 9, 10);
+        let r = MitigationResult { label: "x".into(), unmitigated: a, mitigated: b };
+        assert!((r.improvement().unwrap() - 0.4).abs() < 1e-9);
+        assert!(r.to_string().contains("+40.0 pts"), "{r}");
+        let ab = as_ab(&r);
+        assert_eq!(ab.baseline.overall_rate(), Some(0.9));
+    }
+}

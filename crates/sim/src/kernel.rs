@@ -1,0 +1,187 @@
+//! The discrete-event simulation loop.
+
+use crate::{EventQueue, SimDuration, SimTime};
+
+/// The discrete-event kernel: an event queue plus the simulation clock.
+///
+/// The kernel is deliberately minimal — it owns *when* things happen, not
+/// *what* happens. Callers pop events and dispatch them against their own
+/// world state, which keeps borrow-checking simple (the kernel is never
+/// borrowed while the world mutates):
+///
+/// ```
+/// use geonet_sim::{Kernel, SimDuration, SimTime};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Tick(u32) }
+///
+/// let mut k = Kernel::new();
+/// k.schedule_in(SimDuration::from_secs(1), Ev::Tick(1));
+/// let mut fired = vec![];
+/// while let Some((t, ev)) = k.pop() {
+///     fired.push((t, ev));
+///     if t < SimTime::from_secs(3) {
+///         k.schedule_in(SimDuration::from_secs(1), Ev::Tick(0));
+///     }
+/// }
+/// assert_eq!(fired.len(), 3);
+/// assert_eq!(k.now(), SimTime::from_secs(3));
+/// ```
+#[derive(Debug)]
+pub struct Kernel<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    horizon: Option<SimTime>,
+    processed: u64,
+}
+
+impl<E> Kernel<E> {
+    /// Creates a kernel with the clock at zero and no end-of-run horizon.
+    #[must_use]
+    pub fn new() -> Self {
+        Kernel { queue: EventQueue::new(), now: SimTime::ZERO, horizon: None, processed: 0 }
+    }
+
+    /// Creates a kernel that stops delivering events after `horizon`.
+    ///
+    /// Events scheduled past the horizon stay in the queue but are never
+    /// popped; [`Kernel::pop`] returns `None` once the next event would
+    /// exceed the horizon. The paper's runs use a 200 s horizon.
+    #[must_use]
+    pub fn with_horizon(horizon: SimTime) -> Self {
+        Kernel { queue: EventQueue::new(), now: SimTime::ZERO, horizon: Some(horizon), processed: 0 }
+    }
+
+    /// The current simulation time (the timestamp of the last popped
+    /// event, or zero).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configured horizon, if any.
+    #[must_use]
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.horizon
+    }
+
+    /// Number of events popped so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending (including any past the horizon).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulation time — scheduling
+    /// into the past is always a logic error.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// The timestamp of the next pending event, disregarding the horizon.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next event and advances the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is empty or the next event lies past
+    /// the horizon (in which case the clock is advanced to the horizon so
+    /// that `now()` reports the full run length).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let next = self.queue.peek_time()?;
+        if let Some(h) = self.horizon {
+            if next > h {
+                self.now = h;
+                return None;
+            }
+        }
+        let (t, e) = self.queue.pop().expect("peeked time implies an event");
+        self.now = t;
+        self.processed += 1;
+        Some((t, e))
+    }
+}
+
+impl<E> Default for Kernel<E> {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut k = Kernel::new();
+        k.schedule_at(SimTime::from_secs(2), 'b');
+        k.schedule_at(SimTime::from_secs(1), 'a');
+        assert_eq!(k.now(), SimTime::ZERO);
+        assert_eq!(k.pop(), Some((SimTime::from_secs(1), 'a')));
+        assert_eq!(k.now(), SimTime::from_secs(1));
+        assert_eq!(k.pop(), Some((SimTime::from_secs(2), 'b')));
+        assert_eq!(k.pop(), None);
+        assert_eq!(k.events_processed(), 2);
+    }
+
+    #[test]
+    fn horizon_stops_delivery_and_advances_clock() {
+        let mut k = Kernel::with_horizon(SimTime::from_secs(200));
+        k.schedule_at(SimTime::from_secs(199), 1);
+        k.schedule_at(SimTime::from_secs(201), 2);
+        assert_eq!(k.pop(), Some((SimTime::from_secs(199), 1)));
+        assert_eq!(k.pop(), None);
+        assert_eq!(k.now(), SimTime::from_secs(200));
+        assert_eq!(k.pending(), 1, "past-horizon event remains queued");
+    }
+
+    #[test]
+    fn event_exactly_at_horizon_is_delivered() {
+        let mut k = Kernel::with_horizon(SimTime::from_secs(10));
+        k.schedule_at(SimTime::from_secs(10), ());
+        assert!(k.pop().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn schedule_into_past_panics() {
+        let mut k = Kernel::new();
+        k.schedule_at(SimTime::from_secs(5), ());
+        let _ = k.pop();
+        k.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut k = Kernel::new();
+        k.schedule_in(SimDuration::from_secs(1), 'a');
+        let _ = k.pop();
+        k.schedule_in(SimDuration::from_secs(1), 'b');
+        assert_eq!(k.pop(), Some((SimTime::from_secs(2), 'b')));
+    }
+
+    #[test]
+    fn default_is_new() {
+        let k: Kernel<()> = Kernel::default();
+        assert_eq!(k.now(), SimTime::ZERO);
+        assert_eq!(k.pending(), 0);
+    }
+}

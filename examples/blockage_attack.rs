@@ -1,0 +1,68 @@
+//! The intra-area blockage attack end to end (paper §III-C / Fig 9).
+//!
+//! Every second a random vehicle GeoBroadcasts over the whole 4 km road;
+//! attacker-free, contention-based forwarding reaches ~100 % of vehicles.
+//! The attacker captures each packet, clamps its (unprotected!) remaining
+//! hop limit to 1 and re-broadcasts within a millisecond — candidates
+//! discard their buffered copies as "duplicates", fresh receivers drop
+//! the hop-exhausted copy, and the flood dies at the attacker's edge.
+//!
+//! ```text
+//! cargo run --release --example blockage_attack [runs] [duration_s]
+//! ```
+
+use geonet_repro::scenarios::config::Scale;
+use geonet_repro::scenarios::{intraarea, ScenarioConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let runs: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let duration_s: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let scale = Scale { runs, duration_s };
+
+    println!("== Intra-area blockage attack (DSRC) ==");
+    println!("scale: {runs} A/B pairs × {duration_s} s (paper: 100 × 200 s)\n");
+
+    let base = ScenarioConfig::paper_dsrc_default();
+    let profile = base.profile();
+    let settings = [
+        ("worst NLoS (327 m)", profile.nlos_worst(), None),
+        ("median NLoS (486 m)", profile.nlos_median(), Some(0.385)),
+        ("tuned (500 m)", 500.0, None),
+        ("median LoS (1283 m)", profile.los_median(), None),
+    ];
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>8} {:>8}",
+        "attack range", "af recv", "atk recv", "λ ours", "λ paper"
+    );
+    for (label, range, paper) in settings {
+        let r = intraarea::run_ab(&base.with_attack_range(range), label, scale, 42);
+        println!(
+            "{:<22} {:>9.1}% {:>9.1}% {:>7.1}% {:>8}",
+            label,
+            r.baseline_rate().unwrap_or(f64::NAN) * 100.0,
+            r.attacked_rate().unwrap_or(f64::NAN) * 100.0,
+            r.gamma().unwrap_or(f64::NAN) * 100.0,
+            paper.map_or_else(|| "—".to_string(), |p: f64| format!("{:.1}%", p * 100.0)),
+        );
+    }
+
+    println!("\nTwo things to notice (both match the paper):");
+    println!(" * blockage peaks near the vehicles' own range (~500 m) — a larger");
+    println!("   attack range hands the packet to more first-time receivers and");
+    println!("   *reduces* the blockage;");
+    println!(" * the attacker-free CBF flood reaches essentially every vehicle,");
+    println!("   so λ here is an absolute loss of coverage.");
+
+    // Bonus: the source-location split of §IV-A.
+    let (inside, outside) = intraarea::fig9_source_split(scale, 42);
+    println!(
+        "\nSources inside the fully covered area:  λ = {:.1}% (paper 62.8%) — blocked both ways",
+        inside.gamma().unwrap_or(f64::NAN) * 100.0
+    );
+    println!(
+        "Sources elsewhere:                      λ = {:.1}% (paper 37.2%) — blocked one way",
+        outside.gamma().unwrap_or(f64::NAN) * 100.0
+    );
+}

@@ -1,0 +1,51 @@
+//! The inter-area interception attack end to end (paper §III-B / Fig 7).
+//!
+//! Runs A/B pairs of the paper's default DSRC scenario for the three
+//! attack ranges (worst NLoS, median NLoS, median LoS) and prints the
+//! per-range interception rate γ next to the paper's published value.
+//!
+//! ```text
+//! cargo run --release --example interception_attack [runs] [duration_s]
+//! ```
+
+use geonet_repro::scenarios::config::Scale;
+use geonet_repro::scenarios::{interarea, ScenarioConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let runs: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let duration_s: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let scale = Scale { runs, duration_s };
+
+    println!("== Inter-area interception attack (DSRC) ==");
+    println!("scale: {runs} A/B pairs × {duration_s} s (paper: 100 × 200 s)\n");
+    println!("The attacker sits at the centre of the 4 km road and replays");
+    println!("every beacon it hears. Victims learn authentic positions of");
+    println!("out-of-range vehicles; greedy forwarding then picks unreachable");
+    println!("next hops and the packets silently vanish.\n");
+
+    let base = ScenarioConfig::paper_dsrc_default();
+    let profile = base.profile();
+    let settings = [
+        ("median LoS (1283 m)", profile.los_median(), 0.999),
+        ("median NLoS (486 m)", profile.nlos_median(), 0.999),
+        ("worst NLoS (327 m)", profile.nlos_worst(), 0.468),
+    ];
+
+    println!("{:<22} {:>10} {:>10} {:>8} {:>8}", "attack range", "af recv", "atk recv", "γ ours", "γ paper");
+    for (label, range, paper_gamma) in settings {
+        let r = interarea::run_ab(&base.with_attack_range(range), label, scale, 42);
+        println!(
+            "{:<22} {:>9.1}% {:>9.1}% {:>7.1}% {:>7.1}%",
+            label,
+            r.baseline_rate().unwrap_or(f64::NAN) * 100.0,
+            r.attacked_rate().unwrap_or(f64::NAN) * 100.0,
+            r.gamma().unwrap_or(f64::NAN) * 100.0,
+            paper_gamma * 100.0,
+        );
+    }
+
+    println!("\nNote the attacker-free baseline itself sits near 54% — greedy");
+    println!("forwarding already loses packets to naturally stale location");
+    println!("tables, which is why the paper reports γ as a *relative* drop.");
+}

@@ -1,0 +1,81 @@
+//! A tour of the GeoNetworking packet types beyond GeoBroadcast: single-
+//! hop broadcast (CAM-style), topologically-scoped broadcast and
+//! GeoUnicast, all running over the same signed wire formats.
+//!
+//! ```text
+//! cargo run --example protocol_tour
+//! ```
+
+use geonet::wire::ShortPositionVector;
+use geonet::{CertificateAuthority, GnAddress, GnConfig, GnRouter, RouterAction};
+use geonet_geo::{GeoReference, Heading, Position};
+use geonet_radio::RangeProfile;
+use geonet_sim::SimTime;
+
+fn main() {
+    let ca = CertificateAuthority::new(0x70_u64);
+    let reference = GeoReference::default();
+    let config = GnConfig::paper_default(RangeProfile::DSRC.dist_max());
+    let mk = |mid: u64| {
+        GnRouter::new(ca.enroll(GnAddress::vehicle(mid)), ca.verifier(), config, reference)
+    };
+    // A little convoy: v1 — v2 — v3, each in range of its neighbours only.
+    let mut v1 = mk(1);
+    let mut v2 = mk(2);
+    let mut v3 = mk(3);
+    let positions = [Position::new(0.0, 2.5), Position::new(400.0, 2.5), Position::new(800.0, 2.5)];
+    let t = SimTime::from_secs(1);
+
+    println!("== Single-hop broadcast (CAM-style) ==");
+    let actions = v1.originate_shb(b"CAM: speed 30".to_vec(), t, positions[0], 30.0, Heading::EAST);
+    let RouterAction::Transmit(shb) = &actions[0] else { unreachable!() };
+    println!("v1 sends SHB ({} bytes on the wire, RHL {})", shb.msg.packet.encode().len(), shb.msg.rhl());
+    for a in v2.handle_frame(shb, positions[1], t) {
+        if let RouterAction::Deliver { payload, .. } = a {
+            println!("v2 delivers: {:?} — and learned v1's position from the same frame", String::from_utf8_lossy(&payload));
+        }
+    }
+
+    println!("\n== Topologically-scoped broadcast ==");
+    let (_, actions) = v1.originate_tsb(b"TSB: convoy notice".to_vec(), 3, t, positions[0], 30.0, Heading::EAST);
+    let RouterAction::Transmit(tsb) = &actions[0] else { unreachable!() };
+    println!("v1 floods TSB with hop limit {}", tsb.msg.rhl());
+    let hop2 = v2.handle_frame(tsb, positions[1], t);
+    for a in &hop2 {
+        match a {
+            RouterAction::Deliver { .. } => println!("v2 delivers and re-broadcasts (RHL decremented)"),
+            RouterAction::Transmit(f) => {
+                for a3 in v3.handle_frame(f, positions[2], t) {
+                    if matches!(a3, RouterAction::Deliver { .. }) {
+                        println!("v3 delivers the relayed copy (RHL {})", f.msg.rhl());
+                    }
+                }
+            }
+            RouterAction::CbfTimer { .. } | RouterAction::GfRetry { .. } => {}
+        }
+    }
+
+    println!("\n== GeoUnicast ==");
+    // v1 learns of v2, v2 learns of v3 via beacons, then v1 sends a
+    // GeoUnicast to v3's position — routed greedily through v2.
+    let b2 = v2.make_beacon(t, positions[1], 30.0, Heading::EAST);
+    let b3 = v3.make_beacon(t, positions[2], 30.0, Heading::EAST);
+    v1.handle_frame(&b2, positions[0], t);
+    v2.handle_frame(&b3, positions[1], t);
+    let de_pv = ShortPositionVector::from_long(b3.msg.packet.so_pv());
+    let (_, actions) = v1.originate_guc(de_pv, b"GUC: hello v3".to_vec(), t, positions[0], 30.0, Heading::EAST);
+    let RouterAction::Transmit(f1) = &actions[0] else { unreachable!() };
+    println!("v1 → {} (greedy next hop)", f1.dst.map(|d| d.to_string()).unwrap_or_default());
+    let actions = v2.handle_frame(f1, positions[1], t);
+    let RouterAction::Transmit(f2) = &actions[0] else { unreachable!() };
+    println!("v2 → {} (destination reached next)", f2.dst.map(|d| d.to_string()).unwrap_or_default());
+    for a in v3.handle_frame(f2, positions[2], t) {
+        if let RouterAction::Deliver { payload, .. } = a {
+            println!("v3 delivers: {:?}", String::from_utf8_lossy(&payload));
+        }
+    }
+
+    println!("\nAll three packet types ride the same security envelope:");
+    println!("signatures cover everything except the mutable hop limit —");
+    println!("the crack the paper's intra-area attack drives through.");
+}

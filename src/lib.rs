@@ -1,0 +1,41 @@
+//! Umbrella crate for the GeoNetworking security reproduction.
+//!
+//! This workspace reproduces *Breaking Geographic Routing Among Connected
+//! Vehicles* (DSN 2023): an ETSI GeoNetworking stack, a traffic and radio
+//! substrate, the paper's two outsider attacks, the proposed mitigations
+//! and the full evaluation harness. This crate re-exports the member
+//! crates under one name so the examples and integration tests can depend
+//! on a single package:
+//!
+//! * [`geo`] — positions, headings, destination areas.
+//! * [`sim`] — discrete-event kernel, deterministic RNG, metrics.
+//! * [`radio`] — unit-disk medium and the DSRC / C-V2X range profiles.
+//! * [`traffic`] — IDM microsimulation of the 4 km road.
+//! * [`geonet`] — the protocol stack: wire formats, security envelope,
+//!   location table, greedy forwarding, contention-based forwarding.
+//! * [`attack`] — the inter-area interception and intra-area blockage
+//!   attackers.
+//! * [`scenarios`] — the per-figure experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use geonet_repro::scenarios::{interarea, ScenarioConfig};
+//! use geonet_repro::scenarios::config::Scale;
+//!
+//! // A miniature A/B run of the paper's Figure 7a wN point.
+//! let cfg = ScenarioConfig::paper_dsrc_default();
+//! let r = interarea::run_ab(&cfg, "wN", Scale { runs: 1, duration_s: 30 }, 7);
+//! assert!(r.baseline_rate().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use geonet;
+pub use geonet_attack as attack;
+pub use geonet_geo as geo;
+pub use geonet_radio as radio;
+pub use geonet_scenarios as scenarios;
+pub use geonet_sim as sim;
+pub use geonet_traffic as traffic;

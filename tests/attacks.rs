@@ -1,0 +1,187 @@
+//! Integration tests of the attacks and mitigations: the paper's
+//! qualitative claims must hold end-to-end in the full simulation.
+
+use geonet_repro::attack::BlockageMode;
+use geonet_repro::scenarios::config::{AttackerSetup, Scale};
+use geonet_repro::scenarios::{
+    impact, interarea, intraarea, mitigation, safety, ScenarioConfig, World,
+};
+use geonet_repro::sim::{SimDuration, SimTime};
+
+const SCALE: Scale = Scale { runs: 2, duration_s: 60 };
+
+#[test]
+fn interarea_median_nlos_attacker_intercepts_nearly_everything() {
+    // Paper: γ ≈ 100 % once the attack range reaches the vehicles' own
+    // range.
+    let cfg = ScenarioConfig::paper_dsrc_default().with_attack_range(486.0);
+    let r = interarea::run_ab(&cfg, "mN", SCALE, 11);
+    let gamma = r.gamma().expect("bins populated");
+    assert!(gamma > 0.9, "γ = {gamma:.3}, expected ≈ 1");
+}
+
+#[test]
+fn interarea_worst_nlos_attacker_intercepts_a_third_or_more() {
+    // Paper: γ = 46.8 % with the 327 m attacker (> 35 % in all cases).
+    let cfg = ScenarioConfig::paper_dsrc_default();
+    let r = interarea::run_ab(&cfg, "wN", SCALE, 12);
+    let gamma = r.gamma().expect("bins populated");
+    assert!((0.2..0.8).contains(&gamma), "γ = {gamma:.3}, expected ≈ 0.47");
+}
+
+#[test]
+fn interarea_attack_weakens_with_shorter_ttl() {
+    // Paper Figure 7c: γ decreases from TTL 20 s to TTL 5 s.
+    let base = ScenarioConfig::paper_dsrc_default();
+    let long = interarea::run_ab(&base, "ttl20", SCALE, 13).gamma().unwrap();
+    let short = interarea::run_ab(
+        &base.with_loct_ttl(SimDuration::from_secs(5)),
+        "ttl5",
+        SCALE,
+        13,
+    )
+    .gamma()
+    .unwrap();
+    assert!(
+        short < long + 0.02,
+        "shorter TTL should not strengthen the attack: 5s → {short:.3}, 20s → {long:.3}"
+    );
+}
+
+#[test]
+fn intraarea_blockage_blocks_about_a_third() {
+    // Paper: λ between 35 % and 39 % with the ~500 m attacker.
+    let cfg = ScenarioConfig::paper_dsrc_default().with_attack_range(500.0);
+    let r = intraarea::run_ab(&cfg, "500m", SCALE, 14);
+    let lambda = r.gamma().expect("bins populated");
+    assert!((0.2..0.55).contains(&lambda), "λ = {lambda:.3}, expected ≈ 0.38");
+    // And the attacker-free flood is near-perfect.
+    assert!(r.baseline_rate().unwrap() > 0.97);
+}
+
+#[test]
+fn intraarea_blockage_is_not_monotone_in_attack_range() {
+    // Paper: increasing the attack range beyond ~the vehicle range
+    // *reduces* the blockage (first-time receivers dominate).
+    let base = ScenarioConfig::paper_dsrc_default();
+    let tuned = intraarea::run_ab(&base.with_attack_range(500.0), "500", SCALE, 15)
+        .gamma()
+        .unwrap();
+    let huge = intraarea::run_ab(&base.with_attack_range(1_283.0), "mL", SCALE, 15)
+        .gamma()
+        .unwrap();
+    assert!(
+        huge < tuned,
+        "mL range should be less effective than 500 m: mL {huge:.3} vs 500 m {tuned:.3}"
+    );
+}
+
+#[test]
+fn intraarea_blockage_independent_of_ttl() {
+    // Paper Figure 9c: CBF does not use the LocT TTL.
+    let base = ScenarioConfig::paper_dsrc_default().with_attack_range(486.0);
+    let l20 = intraarea::run_ab(&base, "ttl20", SCALE, 16).gamma().unwrap();
+    let l5 = intraarea::run_ab(
+        &base.with_loct_ttl(SimDuration::from_secs(5)),
+        "ttl5",
+        SCALE,
+        16,
+    )
+    .gamma()
+    .unwrap();
+    assert!((l20 - l5).abs() < 0.08, "TTL changed λ: {l20:.3} vs {l5:.3}");
+}
+
+#[test]
+fn plausibility_check_recovers_interarea_reception() {
+    // Paper Figure 14a: reception under attack rises by ≥ 50 pts.
+    let results = mitigation::fig14a(Scale { runs: 1, duration_s: 60 }, 17);
+    for r in &results {
+        if r.label == "af" {
+            // The check helps even without an attacker.
+            assert!(
+                r.improvement().unwrap() > 0.0,
+                "plausibility check hurt the attacker-free case: {r}"
+            );
+        } else {
+            assert!(
+                r.improvement().unwrap() > 0.3,
+                "mitigation too weak under {}: {r}",
+                r.label
+            );
+        }
+    }
+}
+
+#[test]
+fn rhl_check_restores_cbf_flood() {
+    // Paper Figure 14b: mitigated reception realigns with attacker-free.
+    let results = mitigation::fig14b(Scale { runs: 1, duration_s: 60 }, 18);
+    for r in &results {
+        assert!(
+            r.mitigated_rate().unwrap() > 0.93,
+            "mitigated reception low under {}: {r}",
+            r.label
+        );
+    }
+}
+
+#[test]
+fn blocked_hazard_notification_causes_a_jam() {
+    // Paper Figure 12b in miniature.
+    let af = impact::run_case(impact::ImpactCase::CbfNotification, false, 60, 19);
+    let atk = impact::run_case(impact::ImpactCase::CbfNotification, true, 60, 19);
+    assert!(af.informed_at_s.is_some());
+    assert!(atk.informed_at_s.is_none());
+    assert!(atk.final_count() > af.final_count() + 20);
+}
+
+#[test]
+fn curve_scenario_collision_only_under_attack() {
+    // Paper Figure 13.
+    let (af, atk) = safety::fig13();
+    assert!(af.v2_warned && !af.collision);
+    assert!(!atk.v2_warned && atk.collision);
+    // The attack never forged anything: it silenced one relay.
+    assert!(atk.collision_time.unwrap() > 0.0);
+}
+
+#[test]
+fn spot2_variant_uses_minimal_power() {
+    // The power-controlled replay must not leak to distant receivers: in
+    // the intra-area world, a Spot-2 attacker with a tiny replay range
+    // suppresses far less of the road than the full-power clamp attack.
+    let cfg = ScenarioConfig::paper_dsrc_default()
+        .with_attack_range(500.0)
+        .with_duration(SimDuration::from_secs(40));
+    let run = |mode| {
+        let mut w = World::new(cfg, Some(AttackerSetup::IntraArea(mode)), 20);
+        w.run_until(SimTime::from_secs(4));
+        let src = w.random_on_road_vehicle().unwrap();
+        let snapshot = w.on_road_nodes();
+        let key = w.originate_from(
+            w.vehicle_node(src),
+            &intraarea::road_area(&cfg),
+            vec![1],
+        );
+        w.run_until(SimTime::from_secs(8));
+        snapshot.iter().filter(|n| w.was_received(key, **n)).count() as f64
+            / snapshot.len() as f64
+    };
+    let clamp = run(BlockageMode::ClampRhl);
+    let narrow = run(BlockageMode::PowerControlled { range: 30.0 });
+    assert!(
+        narrow >= clamp,
+        "narrow replay should block no more than the full-power clamp: {narrow:.2} vs {clamp:.2}"
+    );
+}
+
+#[test]
+fn attacker_statistics_are_exposed() {
+    let cfg = ScenarioConfig::paper_dsrc_default().with_duration(SimDuration::from_secs(20));
+    let mut w = World::new(cfg, Some(AttackerSetup::InterArea), 21);
+    w.run_until(SimTime::from_secs(20));
+    let atk = w.inter_attacker().expect("mounted");
+    assert!(atk.beacons_sniffed() > 50);
+    assert_eq!(atk.beacons_sniffed(), atk.beacons_replayed());
+}

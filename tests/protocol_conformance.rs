@@ -1,0 +1,143 @@
+//! Protocol-level conformance checks across crate boundaries: wire
+//! formats, security envelope semantics and the timing constants the
+//! paper's analysis rests on.
+
+use geonet_repro::geo::{Area, GeoReference, Heading, Position};
+use geonet_repro::geonet::wire::GnPacket;
+use geonet_repro::geonet::{
+    CbfParams, CertificateAuthority, GnAddress, GnConfig, LongPositionVector, SequenceNumber,
+};
+use geonet_repro::sim::{SimDuration, SimTime};
+
+fn sample_pv() -> LongPositionVector {
+    LongPositionVector::from_sim(
+        GnAddress::vehicle(0xBEEF),
+        SimTime::from_secs(42),
+        Position::new(1_234.0, 2.5),
+        30.0,
+        Heading::EAST,
+        &GeoReference::default(),
+    )
+}
+
+#[test]
+fn beacon_wire_size_is_36_bytes() {
+    // Basic (4) + common (8) + long position vector (24).
+    let bytes = GnPacket::beacon(sample_pv()).encode();
+    assert_eq!(bytes.len(), 36);
+}
+
+#[test]
+fn gbc_wire_size_is_56_bytes_plus_payload() {
+    let r = GeoReference::default();
+    let area = Area::circle(Position::new(4_020.0, 0.0), 40.0);
+    let p = GnPacket::geobroadcast(SequenceNumber(1), sample_pv(), &area, &r, vec![0; 10], 10);
+    // Basic (4) + common (8) + GBC extended (44) + payload (10).
+    assert_eq!(p.encode().len(), 66);
+}
+
+#[test]
+fn rhl_is_the_fourth_byte_and_only_unprotected_field() {
+    let r = GeoReference::default();
+    let area = Area::circle(Position::new(0.0, 0.0), 100.0);
+    let mut p = GnPacket::geobroadcast(SequenceNumber(9), sample_pv(), &area, &r, vec![7], 10);
+    let on_air_10 = p.encode();
+    p.basic.rhl = 1;
+    let on_air_1 = p.encode();
+    let diff: Vec<usize> = (0..on_air_10.len()).filter(|&i| on_air_10[i] != on_air_1[i]).collect();
+    assert_eq!(diff, vec![3], "RHL must be byte 3 and the only difference");
+    assert_eq!(p.encode_protected()[3], 0, "protected encoding zeroes the RHL");
+}
+
+#[test]
+fn decoding_is_canonicalising_under_bit_flips() {
+    // Every single-bit flip either fails to decode, or decodes to a packet
+    // whose re-encoding is a stable canonical form (reserved bits are
+    // absorbed; everything else must round-trip exactly).
+    let r = GeoReference::default();
+    let area = Area::ellipse(Position::new(2_000.0, 0.0), 500.0, 40.0, 90.0);
+    let p = GnPacket::geobroadcast(SequenceNumber(3), sample_pv(), &area, &r, vec![1, 2], 10);
+    let bytes = p.encode();
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1 << bit;
+            if let Ok(decoded) = GnPacket::decode(&mutated) {
+                let canonical = decoded.encode();
+                let twice =
+                    GnPacket::decode(&canonical).expect("canonical form must decode");
+                assert_eq!(twice, decoded, "byte {i} bit {bit}: decode not canonicalising");
+                assert_eq!(twice.encode(), canonical, "byte {i} bit {bit}: unstable encoding");
+            }
+        }
+    }
+}
+
+#[test]
+fn security_envelope_spans_crates() {
+    let ca = CertificateAuthority::new(7);
+    let creds = ca.enroll(GnAddress::vehicle(5));
+    let msg = creds.sign(GnPacket::beacon(sample_pv()));
+    // Wire round-trip of the payload keeps the signature valid.
+    let bytes = msg.packet.encode();
+    let decoded = GnPacket::decode(&bytes).expect("round trip");
+    assert_eq!(decoded, msg.packet);
+    assert!(ca.verifier().verify(&msg));
+    // A different CA's verifier rejects it.
+    assert!(!CertificateAuthority::new(8).verifier().verify(&msg));
+}
+
+#[test]
+fn standard_timing_constants() {
+    let cfg = GnConfig::paper_default(1_283.0);
+    assert_eq!(cfg.beacon_interval, SimDuration::from_secs(3));
+    assert_eq!(cfg.beacon_jitter, SimDuration::from_millis(750));
+    assert_eq!(cfg.loct_ttl, SimDuration::from_secs(20));
+    let cbf = cfg.cbf_params();
+    assert_eq!(cbf.to_min, SimDuration::from_millis(1));
+    assert_eq!(cbf.to_max, SimDuration::from_millis(100));
+}
+
+#[test]
+fn cbf_timeout_matches_paper_formula() {
+    // TO = TO_MAX + (TO_MIN − TO_MAX) · DIST / DIST_MAX, TO_MIN beyond
+    // DIST_MAX — checked against hand-computed values.
+    let p = CbfParams::default_for_dist_max(1_283.0);
+    let cases: [(f64, f64); 5] = [
+        (0.0, 100_000.0),
+        (1_283.0, 1_000.0),
+        (5_000.0, 1_000.0),
+        (641.5, 50_500.0),
+        (100.0, 100_000.0 + (1_000.0 - 100_000.0) * 100.0 / 1_283.0),
+    ];
+    for (dist, expected_us) in cases {
+        let got = p.contention_timeout(dist).as_micros() as f64;
+        assert!(
+            (got - expected_us.round()).abs() <= 1.0,
+            "TO({dist}) = {got} µs, expected {expected_us:.0}"
+        );
+    }
+}
+
+#[test]
+fn attack_window_exceeds_attacker_processing_delay() {
+    // The paper's feasibility argument: the attacker's ~1 ms processing
+    // delay fits inside the contention window for every distance within
+    // the destination area.
+    let p = CbfParams::default_for_dist_max(1_283.0);
+    let attacker_delay = SimDuration::from_millis(1);
+    for dist in [10.0, 100.0, 250.0, 486.0, 1_000.0, 1_282.0] {
+        assert!(
+            p.contention_timeout(dist) >= attacker_delay,
+            "at {dist} m the contention timer beats the attacker"
+        );
+    }
+}
+
+#[test]
+fn position_vector_quantisation_error_is_centimetres() {
+    let r = GeoReference::default();
+    let pv = sample_pv();
+    let back = pv.position(&r);
+    assert!(back.distance(Position::new(1_234.0, 2.5)) < 0.05);
+}
