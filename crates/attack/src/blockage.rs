@@ -3,7 +3,7 @@
 use crate::ReplayOrder;
 use geonet::{Frame, GnAddress, PacketKey};
 use geonet_geo::Position;
-use geonet_sim::SimDuration;
+use geonet_sim::{AttackKind, PacketRef, SimDuration, SimTime, TraceEvent, Tracer};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -58,9 +58,14 @@ pub struct IntraAreaAttacker {
     seen: BTreeSet<PacketKey>,
     packets_sniffed: u64,
     packets_replayed: u64,
+    tracer: Tracer,
 }
 
 impl IntraAreaAttacker {
+    /// The pseudonymous link-layer source replays are sent under unless
+    /// overridden with [`IntraAreaAttacker::with_pseudonym`].
+    pub const DEFAULT_PSEUDONYM: GnAddress = GnAddress::vehicle(0xFFFF_FFFF_0000);
+
     /// Creates an attacker at `position` using the given mode.
     #[must_use]
     pub fn new(position: Position, mode: BlockageMode) -> Self {
@@ -69,11 +74,18 @@ impl IntraAreaAttacker {
             mode,
             processing_delay: SimDuration::from_millis(1),
             replay_once: true,
-            pseudonym: GnAddress::vehicle(0xFFFF_FFFF_0000),
+            pseudonym: IntraAreaAttacker::DEFAULT_PSEUDONYM,
             seen: BTreeSet::new(),
             packets_sniffed: 0,
             packets_replayed: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; each replay emits an
+    /// [`TraceEvent::AttackAction`] through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Overrides the capture-to-replay processing delay (default 1 ms).
@@ -99,6 +111,14 @@ impl IntraAreaAttacker {
     pub fn with_pseudonym(mut self, pseudonym: GnAddress) -> Self {
         self.pseudonym = pseudonym;
         self
+    }
+
+    /// The pseudonymous link-layer source replays are sent under — what
+    /// victims see in `CbfCancelled { by }` trace events, and what
+    /// forensic attribution matches against.
+    #[must_use]
+    pub fn pseudonym(&self) -> GnAddress {
+        self.pseudonym
     }
 
     /// The attacker's position.
@@ -132,7 +152,7 @@ impl IntraAreaAttacker {
 
     /// Feeds one sniffed frame; returns a replay order for GeoBroadcast
     /// packets.
-    pub fn on_sniff(&mut self, frame: &Frame) -> Option<ReplayOrder> {
+    pub fn on_sniff(&mut self, frame: &Frame, now: SimTime) -> Option<ReplayOrder> {
         let key = PacketKey::of(&frame.msg)?; // beacons: None → ignore
         let first_sighting = self.seen.insert(key);
         self.packets_sniffed += u64::from(first_sighting);
@@ -140,6 +160,10 @@ impl IntraAreaAttacker {
             return None;
         }
         self.packets_replayed += 1;
+        self.tracer.emit(now, || TraceEvent::AttackAction {
+            kind: AttackKind::BlockageReplay,
+            packet: Some(PacketRef::new(key.source.to_u64(), key.sn.0)),
+        });
         let (msg, range_cap) = match self.mode {
             BlockageMode::ClampRhl => (frame.msg.with_rhl(1), None),
             BlockageMode::PowerControlled { range } => (frame.msg.clone(), Some(range)),
@@ -201,9 +225,8 @@ mod tests {
         let ca = CertificateAuthority::new(1);
         let (_, frame) = originate_frame(&ca, 1, 1_000.0);
         assert_eq!(frame.msg.rhl(), 10);
-        let mut atk =
-            IntraAreaAttacker::new(Position::new(2_000.0, -10.0), BlockageMode::ClampRhl);
-        let order = atk.on_sniff(&frame).unwrap();
+        let mut atk = IntraAreaAttacker::new(Position::new(2_000.0, -10.0), BlockageMode::ClampRhl);
+        let order = atk.on_sniff(&frame, SimTime::from_secs(1)).unwrap();
         assert_eq!(order.frame.msg.rhl(), 1);
         assert_eq!(order.range_cap, None);
         assert_eq!(order.delay, SimDuration::from_millis(1));
@@ -219,7 +242,7 @@ mod tests {
             Position::new(2_000.0, -10.0),
             BlockageMode::PowerControlled { range: 120.0 },
         );
-        let order = atk.on_sniff(&frame).unwrap();
+        let order = atk.on_sniff(&frame, SimTime::from_secs(1)).unwrap();
         assert_eq!(order.frame.msg.rhl(), 10);
         assert_eq!(order.range_cap, Some(120.0));
     }
@@ -228,15 +251,14 @@ mod tests {
     fn replays_each_packet_once_by_default() {
         let ca = CertificateAuthority::new(1);
         let (_, frame) = originate_frame(&ca, 1, 1_000.0);
-        let mut atk =
-            IntraAreaAttacker::new(Position::new(2_000.0, -10.0), BlockageMode::ClampRhl);
-        assert!(atk.on_sniff(&frame).is_some());
-        assert!(atk.on_sniff(&frame).is_none(), "same key ignored");
+        let mut atk = IntraAreaAttacker::new(Position::new(2_000.0, -10.0), BlockageMode::ClampRhl);
+        assert!(atk.on_sniff(&frame, SimTime::from_secs(1)).is_some());
+        assert!(atk.on_sniff(&frame, SimTime::from_secs(1)).is_none(), "same key ignored");
         assert_eq!(atk.packets_sniffed(), 1);
         assert_eq!(atk.packets_replayed(), 1);
         // A different packet is replayed again.
         let (_, frame2) = originate_frame(&ca, 2, 1_500.0);
-        assert!(atk.on_sniff(&frame2).is_some());
+        assert!(atk.on_sniff(&frame2, SimTime::from_secs(1)).is_some());
     }
 
     #[test]
@@ -245,8 +267,8 @@ mod tests {
         let (_, frame) = originate_frame(&ca, 1, 1_000.0);
         let mut atk = IntraAreaAttacker::new(Position::ORIGIN, BlockageMode::ClampRhl)
             .with_replay_once(false);
-        assert!(atk.on_sniff(&frame).is_some());
-        assert!(atk.on_sniff(&frame).is_some());
+        assert!(atk.on_sniff(&frame, SimTime::from_secs(1)).is_some());
+        assert!(atk.on_sniff(&frame, SimTime::from_secs(1)).is_some());
         assert_eq!(atk.packets_replayed(), 2);
     }
 
@@ -257,7 +279,7 @@ mod tests {
         let beacon =
             v.make_beacon(SimTime::from_secs(1), Position::new(10.0, 0.0), 30.0, Heading::EAST);
         let mut atk = IntraAreaAttacker::new(Position::ORIGIN, BlockageMode::ClampRhl);
-        assert!(atk.on_sniff(&beacon).is_none());
+        assert!(atk.on_sniff(&beacon, SimTime::from_secs(1)).is_none());
         assert_eq!(atk.packets_sniffed(), 0);
     }
 
@@ -270,15 +292,14 @@ mod tests {
         let (key, frame) = originate_frame(&ca, 1, 1_000.0);
         let mut v2 = router(&ca, 2);
         let mut v3 = router(&ca, 3);
-        let mut atk =
-            IntraAreaAttacker::new(Position::new(1_400.0, -10.0), BlockageMode::ClampRhl);
+        let mut atk = IntraAreaAttacker::new(Position::new(1_400.0, -10.0), BlockageMode::ClampRhl);
 
         let t0 = SimTime::from_secs(1);
         // V2 (in area, in V1's range) buffers and contends.
         let a2 = v2.handle_frame(&frame, Position::new(1_400.0, 2.5), t0);
         let RouterAction::CbfTimer { generation, delay, .. } = a2[1] else { panic!() };
         // The attacker heard the same transmission and replays at +1 ms.
-        let order = atk.on_sniff(&frame).unwrap();
+        let order = atk.on_sniff(&frame, t0).unwrap();
         assert!(order.delay < delay, "replay must beat the contention timer");
         let dup = v2.handle_frame(&order.frame, Position::new(1_400.0, 2.5), t0 + order.delay);
         assert!(dup.is_empty());
@@ -306,17 +327,39 @@ mod tests {
                 .with_mitigations(geonet::MitigationConfig::rhl_check(3)),
             GeoReference::default(),
         );
-        let mut atk =
-            IntraAreaAttacker::new(Position::new(1_400.0, -10.0), BlockageMode::ClampRhl);
+        let mut atk = IntraAreaAttacker::new(Position::new(1_400.0, -10.0), BlockageMode::ClampRhl);
         let t0 = SimTime::from_secs(1);
         let a2 = v2.handle_frame(&frame, Position::new(1_400.0, 2.5), t0);
         let RouterAction::CbfTimer { generation, delay, .. } = a2[1] else { panic!() };
-        let order = atk.on_sniff(&frame).unwrap();
+        let order = atk.on_sniff(&frame, t0).unwrap();
         v2.handle_frame(&order.frame, Position::new(1_400.0, 2.5), t0 + order.delay);
         assert_eq!(v2.stats().cbf_mitigation_rejects, 1);
         // Contention survives: V2 still re-broadcasts.
         let out = v2.handle_cbf_timer(key, generation, Position::new(1_400.0, 2.5), t0 + delay);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn replay_emits_attack_action_event() {
+        use geonet_sim::{shared, VecSink};
+        let ca = CertificateAuthority::new(1);
+        let (key, frame) = originate_frame(&ca, 1, 1_000.0);
+        let mut atk = IntraAreaAttacker::new(Position::new(1_400.0, -10.0), BlockageMode::ClampRhl);
+        let sink = shared(VecSink::new());
+        atk.set_tracer(Tracer::attached(sink.clone()).for_node(99));
+        atk.on_sniff(&frame, SimTime::from_secs(1)).unwrap();
+        let records = sink.borrow().records().to_vec();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].node, 99);
+        match records[0].event {
+            TraceEvent::AttackAction { kind: AttackKind::BlockageReplay, packet } => {
+                assert_eq!(packet, Some(PacketRef::new(key.source.to_u64(), key.sn.0)));
+            }
+            ref other => panic!("{other:?}"),
+        }
+        // A suppressed duplicate (replay_once) emits nothing.
+        assert!(atk.on_sniff(&frame, SimTime::from_secs(2)).is_none());
+        assert_eq!(sink.borrow().records().len(), 1);
     }
 
     #[test]

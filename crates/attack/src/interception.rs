@@ -3,7 +3,7 @@
 use crate::ReplayOrder;
 use geonet::Frame;
 use geonet_geo::Position;
-use geonet_sim::SimDuration;
+use geonet_sim::{AttackKind, SimDuration, SimTime, TraceEvent, Tracer};
 use std::fmt;
 
 /// The beacon-replay attacker.
@@ -25,6 +25,7 @@ pub struct InterAreaAttacker {
     processing_delay: SimDuration,
     beacons_sniffed: u64,
     beacons_replayed: u64,
+    tracer: Tracer,
 }
 
 impl InterAreaAttacker {
@@ -36,7 +37,14 @@ impl InterAreaAttacker {
             processing_delay: SimDuration::from_millis(1),
             beacons_sniffed: 0,
             beacons_replayed: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; each capture and replay emits an
+    /// [`TraceEvent::AttackAction`] through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Overrides the capture-to-replay processing delay (default 1 ms).
@@ -75,12 +83,20 @@ impl InterAreaAttacker {
     /// Data packets are ignored — this attack never touches them; it only
     /// corrupts the victims' view of the topology and lets greedy
     /// forwarding do the packet dropping itself.
-    pub fn on_sniff(&mut self, frame: &Frame) -> Option<ReplayOrder> {
+    pub fn on_sniff(&mut self, frame: &Frame, now: SimTime) -> Option<ReplayOrder> {
         if frame.msg.packet.gbc().is_some() {
             return None; // not a beacon
         }
         self.beacons_sniffed += 1;
         self.beacons_replayed += 1;
+        self.tracer.emit(now, || TraceEvent::AttackAction {
+            kind: AttackKind::InterceptionCapture,
+            packet: None,
+        });
+        self.tracer.emit(now, || TraceEvent::AttackAction {
+            kind: AttackKind::InterceptionReplay,
+            packet: None,
+        });
         Some(ReplayOrder {
             frame: Frame {
                 // Replayed verbatim at the network layer; the physical
@@ -127,7 +143,7 @@ mod tests {
         let mut atk = InterAreaAttacker::new(Position::new(500.0, -10.0));
         let beacon =
             v3.make_beacon(SimTime::from_secs(1), Position::new(700.0, 0.0), 30.0, Heading::EAST);
-        let order = atk.on_sniff(&beacon).expect("beacons are replayed");
+        let order = atk.on_sniff(&beacon, SimTime::from_secs(1)).expect("beacons are replayed");
         assert_eq!(order.delay, SimDuration::from_millis(1));
         assert_eq!(order.range_cap, None);
         // Network-layer content untouched.
@@ -153,7 +169,7 @@ mod tests {
             Heading::EAST,
         );
         let geonet::RouterAction::Transmit(frame) = &actions[0] else { panic!() };
-        assert!(atk.on_sniff(frame).is_none());
+        assert!(atk.on_sniff(frame, SimTime::from_secs(1)).is_none());
         assert_eq!(atk.beacons_sniffed(), 0);
     }
 
@@ -173,18 +189,12 @@ mod tests {
 
         // v1 hears v2 directly, and v3 only through the attacker.
         v1.handle_frame(&v2_beacon, Position::ORIGIN, t0);
-        let order = atk.on_sniff(&v3_beacon).unwrap();
+        let order = atk.on_sniff(&v3_beacon, t0).unwrap();
         v1.handle_frame(&order.frame, Position::ORIGIN, t0 + order.delay);
 
         let area = Area::circle(Position::new(4_020.0, 0.0), 50.0);
-        let (_, actions) = v1.originate(
-            &area,
-            vec![1],
-            t0 + order.delay,
-            Position::ORIGIN,
-            30.0,
-            Heading::EAST,
-        );
+        let (_, actions) =
+            v1.originate(&area, vec![1], t0 + order.delay, Position::ORIGIN, 30.0, Heading::EAST);
         let geonet::RouterAction::Transmit(f) = &actions[0] else { panic!() };
         assert_eq!(f.dst, Some(GnAddress::vehicle(3)), "victim forwards into the void");
     }

@@ -24,9 +24,8 @@ use std::hint::black_box;
 
 fn ablation_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_event_queue");
-    let events: Vec<(u64, u32)> = (0..10_000u32)
-        .map(|i| ((u64::from(i).wrapping_mul(0x9E37_79B9) % 1_000_000), i))
-        .collect();
+    let events: Vec<(u64, u32)> =
+        (0..10_000u32).map(|i| ((u64::from(i).wrapping_mul(0x9E37_79B9) % 1_000_000), i)).collect();
 
     group.bench_function("binary_heap", |b| {
         b.iter(|| {
@@ -108,17 +107,10 @@ fn ablation_attacker_latency(c: &mut Criterion) {
         // Thread the delay through a bespoke world: run the miniature
         // experiment manually with a tweaked attacker.
         let lambda = blockage_with_attacker_delay(&cfg, SimDuration::from_millis(delay_ms));
-        report(
-            "ablation_attacker_latency",
-            &format!("delay={delay_ms}ms lambda"),
-            Some(lambda),
-        );
+        report("ablation_attacker_latency", &format!("delay={delay_ms}ms lambda"), Some(lambda));
         group.bench_function(format!("delay_{delay_ms}ms"), |b| {
             b.iter(|| {
-                black_box(blockage_with_attacker_delay(
-                    &cfg,
-                    SimDuration::from_millis(delay_ms),
-                ))
+                black_box(blockage_with_attacker_delay(&cfg, SimDuration::from_millis(delay_ms)))
             });
         });
     }
@@ -137,11 +129,9 @@ fn blockage_with_attacker_delay(cfg: &ScenarioConfig, delay: SimDuration) -> f64
         w.run_until(SimTime::from_secs(4));
         let src = w.random_on_road_vehicle().expect("road populated");
         let snapshot = w.on_road_nodes();
-        let key =
-            w.originate_from(w.vehicle_node(src), &intraarea::road_area(&cfg), vec![1]);
+        let key = w.originate_from(w.vehicle_node(src), &intraarea::road_area(&cfg), vec![1]);
         w.run_until(SimTime::from_secs(10));
-        snapshot.iter().filter(|n| w.was_received(key, **n)).count() as f64
-            / snapshot.len() as f64
+        snapshot.iter().filter(|n| w.was_received(key, **n)).count() as f64 / snapshot.len() as f64
     };
     (run(false) - run(true)).max(0.0)
 }
@@ -217,10 +207,7 @@ fn ablation_no_progress_policy(c: &mut Criterion) {
         ("broadcast", NoProgressPolicy::Broadcast),
         (
             "buffer_retry",
-            NoProgressPolicy::BufferRetry {
-                delay: SimDuration::from_millis(500),
-                max_attempts: 6,
-            },
+            NoProgressPolicy::BufferRetry { delay: SimDuration::from_millis(500), max_attempts: 6 },
         ),
         ("drop", NoProgressPolicy::Drop),
     ];
@@ -228,11 +215,7 @@ fn ablation_no_progress_policy(c: &mut Criterion) {
         let mut cfg = ScenarioConfig::paper_dsrc_default().with_spacing(300.0);
         cfg.gn = cfg.gn.with_no_progress(policy);
         let r = interarea::run_ab(&cfg, label, bench_scale(), 42);
-        report(
-            "ablation_no_progress",
-            &format!("{label} af-reception"),
-            r.baseline_rate(),
-        );
+        report("ablation_no_progress", &format!("{label} af-reception"), r.baseline_rate());
         group.bench_function(label, |b| {
             let mut seed = 0;
             b.iter(|| {

@@ -27,11 +27,7 @@ fn bench_tables(c: &mut Criterion) {
             black_box(sim.count_on_road())
         });
     });
-    report(
-        "table1",
-        "IDM params",
-        Some(IdmParams::paper_default().desired_velocity / 100.0),
-    );
+    report("table1", "IDM params", Some(IdmParams::paper_default().desired_velocity / 100.0));
 
     // Table II: range-profile lookups (trivially fast; exists so every
     // table has a regeneration target).
@@ -54,14 +50,8 @@ fn bench_fig7(c: &mut Criterion) {
     for (name, cfg) in [
         ("fig7a_wN_dsrc", base),
         ("fig7a_mN_dsrc", base.with_attack_range(profile.nlos_median())),
-        (
-            "fig7b_wN_cv2x",
-            ScenarioConfig::paper_default(geonet_radio::AccessTechnology::CV2x),
-        ),
-        (
-            "fig7c_ttl5",
-            base.with_loct_ttl(geonet_sim::SimDuration::from_secs(5)),
-        ),
+        ("fig7b_wN_cv2x", ScenarioConfig::paper_default(geonet_radio::AccessTechnology::CV2x)),
+        ("fig7c_ttl5", base.with_loct_ttl(geonet_sim::SimDuration::from_secs(5))),
         ("fig7d_spacing100", base.with_spacing(100.0)),
         ("fig7e_twoway", base.with_two_way(true)),
     ] {
@@ -71,11 +61,7 @@ fn bench_fig7(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(interarea::run_one(
-                    &cfg.with_duration(scale.duration()),
-                    true,
-                    seed,
-                ))
+                black_box(interarea::run_one(&cfg.with_duration(scale.duration()), true, seed))
             });
         });
     }
@@ -104,8 +90,7 @@ fn bench_fig9(c: &mut Criterion) {
         ),
         (
             "fig9c_ttl5",
-            base.with_attack_range(486.0)
-                .with_loct_ttl(geonet_sim::SimDuration::from_secs(5)),
+            base.with_attack_range(486.0).with_loct_ttl(geonet_sim::SimDuration::from_secs(5)),
         ),
         ("fig9d_spacing100", base.with_attack_range(486.0).with_spacing(100.0)),
         ("fig9e_twoway", base.with_attack_range(486.0).with_two_way(true)),
@@ -116,11 +101,7 @@ fn bench_fig9(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(intraarea::run_one(
-                    &cfg.with_duration(scale.duration()),
-                    true,
-                    seed,
-                ))
+                black_box(intraarea::run_one(&cfg.with_duration(scale.duration()), true, seed))
             });
         });
     }

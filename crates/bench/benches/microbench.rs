@@ -5,13 +5,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use geonet::wire::GnPacket;
 use geonet::{
-    greedy_select, CbfBuffer, CbfParams, CertificateAuthority, GnAddress, LocationTable,
-    LongPositionVector, SequenceNumber,
+    greedy_select, CbfBuffer, CbfParams, CertificateAuthority, Frame, GnAddress, GnConfig,
+    GnRouter, LocationTable, LongPositionVector, SequenceNumber,
 };
 use geonet_geo::{Area, GeoReference, Heading, Position};
 use geonet_radio::Medium;
 use geonet_scenarios::{ScenarioConfig, World};
-use geonet_sim::{SimDuration, SimTime};
+use geonet_sim::{shared, NullSink, SimDuration, SimTime, Tracer};
 use geonet_traffic::{RoadConfig, TrafficSim};
 use std::hint::black_box;
 
@@ -29,7 +29,8 @@ fn pv(addr: u64, x: f64) -> LongPositionVector {
 fn bench_wire(c: &mut Criterion) {
     let r = GeoReference::default();
     let area = Area::circle(Position::new(4_020.0, 0.0), 40.0);
-    let packet = GnPacket::geobroadcast(SequenceNumber(1), pv(1, 100.0), &area, &r, vec![0; 32], 10);
+    let packet =
+        GnPacket::geobroadcast(SequenceNumber(1), pv(1, 100.0), &area, &r, vec![0; 32], 10);
     let bytes = packet.encode();
 
     c.bench_function("wire_encode_gbc", |b| b.iter(|| black_box(packet.encode())));
@@ -47,12 +48,8 @@ fn bench_security(c: &mut Criterion) {
     let beacon = GnPacket::beacon(pv(1, 100.0));
     let signed = creds.sign(beacon.clone());
 
-    c.bench_function("security_sign_beacon", |b| {
-        b.iter(|| black_box(creds.sign(beacon.clone())))
-    });
-    c.bench_function("security_verify_beacon", |b| {
-        b.iter(|| black_box(verifier.verify(&signed)))
-    });
+    c.bench_function("security_sign_beacon", |b| b.iter(|| black_box(creds.sign(beacon.clone()))));
+    c.bench_function("security_verify_beacon", |b| b.iter(|| black_box(verifier.verify(&signed))));
 }
 
 fn bench_loct_and_gf(c: &mut Criterion) {
@@ -134,14 +131,46 @@ fn bench_medium_and_traffic(c: &mut Criterion) {
     });
 }
 
+fn bench_handle_frame(c: &mut Criterion) {
+    // The acceptance criterion for the tracing layer: a router with the
+    // default (disabled) tracer must not regress `handle_frame`, and an
+    // attached `NullSink` must stay within noise of it — the closures
+    // passed to `Tracer::emit` are never built when no sink is attached.
+    let ca = CertificateAuthority::new(1);
+    let verifier = ca.verifier();
+    let cfg = GnConfig::paper_default(1_283.0);
+    let beacon = ca.enroll(GnAddress::vehicle(2)).sign(GnPacket::beacon(pv(2, 520.0)));
+    let frame = Frame::broadcast(GnAddress::vehicle(2), Position::new(520.0, 2.5), beacon);
+    let own = Position::new(500.0, 2.5);
+
+    c.bench_function("handle_frame_beacon_tracer_disabled", |b| {
+        let mut router = GnRouter::new(
+            ca.enroll(GnAddress::vehicle(1)),
+            verifier.clone(),
+            cfg,
+            GeoReference::default(),
+        );
+        b.iter(|| black_box(router.handle_frame(black_box(&frame), own, SimTime::from_secs(1))));
+    });
+    c.bench_function("handle_frame_beacon_tracer_null_sink", |b| {
+        let mut router = GnRouter::new(
+            ca.enroll(GnAddress::vehicle(1)),
+            verifier.clone(),
+            cfg,
+            GeoReference::default(),
+        );
+        router.set_tracer(Tracer::attached(shared(NullSink)));
+        b.iter(|| black_box(router.handle_frame(black_box(&frame), own, SimTime::from_secs(1))));
+    });
+}
+
 fn bench_world_throughput(c: &mut Criterion) {
     // End-to-end event throughput: one simulated second of the full
     // default world (traffic + beacons + deliveries).
     let mut group = c.benchmark_group("world");
     group.sample_size(10);
     group.bench_function("world_one_simulated_second", |b| {
-        let cfg = ScenarioConfig::paper_dsrc_default()
-            .with_duration(SimDuration::from_secs(3_600));
+        let cfg = ScenarioConfig::paper_dsrc_default().with_duration(SimDuration::from_secs(3_600));
         let mut w = World::new(cfg, None, 42);
         let mut t = 0;
         b.iter(|| {
@@ -159,6 +188,6 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_wire, bench_security, bench_loct_and_gf, bench_cbf,
-              bench_medium_and_traffic, bench_world_throughput
+              bench_handle_frame, bench_medium_and_traffic, bench_world_throughput
 }
 criterion_main!(micro);

@@ -363,7 +363,13 @@ mod tests {
         };
         // A peer's re-broadcast (RHL 9) arrives before our timer.
         let dup = gbc_packet(1, 1, 9);
-        let v = buf.on_packet(&dup, Position::new(50.0, 0.0), Position::new(100.0, 0.0), &params(), NOW);
+        let v = buf.on_packet(
+            &dup,
+            Position::new(50.0, 0.0),
+            Position::new(100.0, 0.0),
+            &params(),
+            NOW,
+        );
         assert_eq!(v, CbfVerdict::DuplicateDiscarded);
         // The late timer finds nothing to send.
         assert!(buf.take_expired(key, generation).is_none());
@@ -377,8 +383,13 @@ mod tests {
         let mut buf = CbfBuffer::new();
         let pkt = gbc_packet(1, 1, 10);
         let key = PacketKey::of(&pkt).unwrap();
-        let g1 = match buf.on_packet(&pkt, Position::ORIGIN, Position::new(100.0, 0.0), &params(), NOW)
-        {
+        let g1 = match buf.on_packet(
+            &pkt,
+            Position::ORIGIN,
+            Position::new(100.0, 0.0),
+            &params(),
+            NOW,
+        ) {
             CbfVerdict::FirstCopy { contend: Some((_, g)) } => g,
             other => panic!("{other:?}"),
         };
@@ -399,7 +410,13 @@ mod tests {
             other => panic!("{other:?}"),
         };
         let attack_copy = pkt.with_rhl(1);
-        let v = buf.on_packet(&attack_copy, Position::new(20.0, 0.0), Position::new(100.0, 0.0), &p, NOW);
+        let v = buf.on_packet(
+            &attack_copy,
+            Position::new(20.0, 0.0),
+            Position::new(100.0, 0.0),
+            &p,
+            NOW,
+        );
         assert_eq!(v, CbfVerdict::DuplicateRejectedByMitigation);
         // The timer still yields the packet: the attack failed.
         assert!(buf.take_expired(key, g).is_some());
@@ -424,8 +441,7 @@ mod tests {
         let b = gbc_packet(1, 2, 10); // same source, next SN
         let c = gbc_packet(2, 1, 10); // different source, same SN
         for pkt in [&a, &b, &c] {
-            let v =
-                buf.on_packet(pkt, Position::ORIGIN, Position::new(100.0, 0.0), &params(), NOW);
+            let v = buf.on_packet(pkt, Position::ORIGIN, Position::new(100.0, 0.0), &params(), NOW);
             assert!(matches!(v, CbfVerdict::FirstCopy { contend: Some(_) }), "{v:?}");
         }
         assert_eq!(buf.buffered_count(), 3);

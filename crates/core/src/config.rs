@@ -72,10 +72,7 @@ impl MitigationConfig {
     /// drop 3).
     #[must_use]
     pub fn paper_both() -> Self {
-        MitigationConfig {
-            gf_plausibility_threshold: Some(486.0),
-            cbf_rhl_drop_threshold: Some(3),
-        }
+        MitigationConfig { gf_plausibility_threshold: Some(486.0), cbf_rhl_drop_threshold: Some(3) }
     }
 
     /// Only the GF plausibility check, with the given threshold.
@@ -261,8 +258,7 @@ mod tests {
 
     #[test]
     fn cbf_params_inherit_mitigation() {
-        let c = GnConfig::paper_default(1_283.0)
-            .with_mitigations(MitigationConfig::rhl_check(3));
+        let c = GnConfig::paper_default(1_283.0).with_mitigations(MitigationConfig::rhl_check(3));
         let p = c.cbf_params();
         assert_eq!(p.rhl_drop_threshold, Some(3));
         assert_eq!(p.dist_max, 1_283.0);

@@ -150,12 +150,7 @@ mod tests {
         t
     }
 
-    fn select(
-        t: &LocationTable,
-        own_x: f64,
-        dest_x: f64,
-        threshold: Option<f64>,
-    ) -> GfDecision {
+    fn select(t: &LocationTable, own_x: f64, dest_x: f64, threshold: Option<f64>) -> GfDecision {
         greedy_select(
             t,
             GnAddress::vehicle(999),
@@ -240,15 +235,8 @@ mod tests {
             &r,
         );
         t.update(pv, Position::new(1_000.0, 0.0), NOW);
-        let d = greedy_select(
-            &t,
-            own,
-            Position::ORIGIN,
-            Position::new(4_020.0, 0.0),
-            None,
-            None,
-            NOW,
-        );
+        let d =
+            greedy_select(&t, own, Position::ORIGIN, Position::new(4_020.0, 0.0), None, None, NOW);
         assert_eq!(d, GfDecision::NoProgress);
     }
 
@@ -286,10 +274,7 @@ mod tests {
     #[test]
     fn decision_display() {
         assert_eq!(GfDecision::NoProgress.to_string(), "no progress");
-        let d = GfDecision::NextHop {
-            addr: GnAddress::vehicle(1),
-            advertised: Position::ORIGIN,
-        };
+        let d = GfDecision::NextHop { addr: GnAddress::vehicle(1), advertised: Position::ORIGIN };
         assert!(d.to_string().contains("next-hop"));
     }
 

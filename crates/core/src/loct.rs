@@ -76,8 +76,7 @@ impl LocationTable {
     /// expiry is pushed out to `now + TTL`. No plausibility check is
     /// performed — see the module docs.
     pub fn update(&mut self, pv: LongPositionVector, position: Position, now: SimTime) {
-        self.entries
-            .insert(pv.addr, LocTEntry { pv, position, expires: now + self.ttl });
+        self.entries.insert(pv.addr, LocTEntry { pv, position, expires: now + self.ttl });
     }
 
     /// The live (unexpired) entry for `addr`, if any.

@@ -17,7 +17,7 @@ use crate::security::{Credentials, SecuredPacket, Verifier};
 use crate::types::{GnAddress, SequenceNumber};
 use crate::wire::GnPacket;
 use geonet_geo::{Area, GeoReference, Heading, Position};
-use geonet_sim::{SimDuration, SimRng, SimTime};
+use geonet_sim::{DropReason, PacketRef, SimDuration, SimRng, SimTime, TraceEvent, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An action the router asks its host to perform.
@@ -90,6 +90,55 @@ pub struct RouterStats {
     pub gf_ack_exhausted: u64,
 }
 
+impl RouterStats {
+    /// Folds one trace event into the counters.
+    ///
+    /// The router emits a [`TraceEvent`] at every decision point and
+    /// derives its statistics from that stream, so the counters cannot
+    /// drift from the trace: `stats()` is by construction the aggregate
+    /// of the events a [`crate::router::GnRouter`]'s tracer saw.
+    pub fn record(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::BeaconAccepted { .. } => self.beacons_accepted += 1,
+            TraceEvent::Delivered { .. } => self.delivered += 1,
+            TraceEvent::GfNextHop { .. } => self.gf_unicast += 1,
+            TraceEvent::GfFallback { .. } => self.gf_fallback += 1,
+            TraceEvent::CbfFired { .. } => self.cbf_rebroadcast += 1,
+            TraceEvent::CbfCancelled { .. } => self.cbf_discards += 1,
+            TraceEvent::CbfMitigationRejected { .. } => self.cbf_mitigation_rejects += 1,
+            TraceEvent::GfBuffered { .. } => self.gf_buffered += 1,
+            TraceEvent::GfAckRetry { .. } => self.gf_ack_retries += 1,
+            TraceEvent::Dropped { reason, .. } => match reason {
+                DropReason::AuthFailure => self.auth_failures += 1,
+                DropReason::StaleTimestamp => self.freshness_failures += 1,
+                DropReason::RhlExhausted => self.rhl_exhausted += 1,
+                DropReason::NoNextHop => self.gf_dropped += 1,
+                DropReason::AckExhausted => self.gf_ack_exhausted += 1,
+            },
+            // Lifecycle events with no dedicated router counter
+            // (origination, duplicate suppression, CBF arming) and events
+            // owned by other layers (frame TX/RX/loss, attacker actions,
+            // traffic milestones).
+            _ => {}
+        }
+    }
+}
+
+/// The [`PacketRef`] identifying `key` in trace events.
+fn packet_ref(key: PacketKey) -> PacketRef {
+    PacketRef::new(key.source.to_u64(), key.sn.0)
+}
+
+/// The [`PacketRef`] of a secured packet, falling back to the source
+/// position vector's address with sequence number zero for the
+/// (unsequenced) beacon and single-hop variants.
+fn packet_ref_of(msg: &SecuredPacket) -> PacketRef {
+    match PacketKey::of(msg) {
+        Some(key) => packet_ref(key),
+        None => PacketRef::new(msg.packet.so_pv().addr.to_u64(), 0),
+    }
+}
+
 /// A greedy unicast awaiting its link-layer acknowledgement (only used
 /// with the [`crate::config::LinkAckConfig`] extension).
 #[derive(Debug, Clone)]
@@ -124,6 +173,7 @@ pub struct GnRouter {
     tsb_seen: BTreeSet<PacketKey>,
     next_sn: SequenceNumber,
     stats: RouterStats,
+    tracer: Tracer,
 }
 
 impl GnRouter {
@@ -148,7 +198,22 @@ impl GnRouter {
             tsb_seen: BTreeSet::new(),
             next_sn: SequenceNumber(0),
             stats: RouterStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; every routing decision is emitted through it
+    /// from now on. The default is [`Tracer::disabled`], which skips
+    /// event delivery entirely (the stats counters still update).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Records one routing decision: folds the event into the stats
+    /// counters and hands it to the attached tracer (if any).
+    fn note(&mut self, now: SimTime, event: TraceEvent) {
+        self.stats.record(&event);
+        self.tracer.emit(now, || event);
     }
 
     /// This node's GeoNetworking address.
@@ -239,6 +304,7 @@ impl GnRouter {
         );
         let msg = self.credentials.sign(packet);
         let key = PacketKey { source: self.addr(), sn };
+        self.note(now, TraceEvent::Originated { packet: packet_ref(key) });
         // The source never re-forwards its own packet.
         self.cbf.mark_handled(key, now);
         self.gf_seen.insert(key);
@@ -276,6 +342,7 @@ impl GnRouter {
         );
         let msg = self.credentials.sign(GnPacket::topo_broadcast(sn, pv, payload, hops));
         let key = PacketKey { source: self.addr(), sn };
+        self.note(now, TraceEvent::Originated { packet: packet_ref(key) });
         self.tsb_seen.insert(key);
         (key, vec![RouterAction::Transmit(Frame::broadcast(self.addr(), position, msg))])
     }
@@ -317,17 +384,28 @@ impl GnRouter {
         }
         // Security: certificate + signature over the protected bytes.
         if !self.verifier.verify(&frame.msg) {
-            self.stats.auth_failures += 1;
+            self.note(
+                now,
+                TraceEvent::Dropped {
+                    packet: packet_ref_of(&frame.msg),
+                    reason: DropReason::AuthFailure,
+                },
+            );
             return Vec::new();
         }
         // Freshness: the source PV's timestamp must be recent. A replayed
         // beacon relayed within the attacker's ~1 ms processing delay
         // passes; a recording replayed much later does not.
         let pv = *frame.msg.packet.so_pv();
-        let age_ms =
-            (crate::types::Timestamp::from_sim(now).0).wrapping_sub(pv.timestamp.0);
+        let age_ms = (crate::types::Timestamp::from_sim(now).0).wrapping_sub(pv.timestamp.0);
         if u64::from(age_ms) > self.config.max_pv_age.as_millis() {
-            self.stats.freshness_failures += 1;
+            self.note(
+                now,
+                TraceEvent::Dropped {
+                    packet: packet_ref_of(&frame.msg),
+                    reason: DropReason::StaleTimestamp,
+                },
+            );
             return Vec::new();
         }
         match &frame.msg.packet.extended {
@@ -337,7 +415,7 @@ impl GnRouter {
                 // LocT update is always plausible.
                 let advertised = pv.position(&self.reference);
                 self.loct.update(pv, advertised, now);
-                self.stats.beacons_accepted += 1;
+                self.note(now, TraceEvent::BeaconAccepted { from: pv.addr.to_u64() });
                 // SHB carries no sequence number; the reserved sentinel
                 // keeps SHB deliveries from colliding with real
                 // sequence-numbered keys in reception accounting.
@@ -371,7 +449,7 @@ impl GnRouter {
                 // on beacon-advertised neighbour positions.)
                 let advertised = pv.position(&self.reference);
                 self.loct.update(pv, advertised, now);
-                self.stats.beacons_accepted += 1;
+                self.note(now, TraceEvent::BeaconAccepted { from: pv.addr.to_u64() });
                 Vec::new()
             }
             Some(_) => self.handle_gbc(frame, position, now),
@@ -407,6 +485,7 @@ impl GnRouter {
             self.config.default_hop_limit,
         ));
         let key = PacketKey { source: self.addr(), sn };
+        self.note(now, TraceEvent::Originated { packet: packet_ref(key) });
         self.gf_seen.insert(key);
         let actions = self.forward_towards(msg, position, de_pv, Vec::new(), now);
         (key, actions)
@@ -423,20 +502,22 @@ impl GnRouter {
         let de_pv = guc.de_pv;
         if de_pv.addr == self.addr() {
             if self.gf_seen.insert(key) {
-                self.stats.delivered += 1;
-                return vec![RouterAction::Deliver {
-                    key,
-                    payload: msg.packet.payload.clone(),
-                }];
+                self.note(now, TraceEvent::Delivered { packet: packet_ref(key) });
+                return vec![RouterAction::Deliver { key, payload: msg.packet.payload.clone() }];
             }
+            self.note(now, TraceEvent::DuplicateDiscarded { packet: packet_ref(key) });
             return Vec::new();
         }
         if !self.gf_seen.insert(key) {
+            self.note(now, TraceEvent::DuplicateDiscarded { packet: packet_ref(key) });
             return Vec::new();
         }
         let rhl = msg.rhl().saturating_sub(1);
         if rhl == 0 {
-            self.stats.rhl_exhausted += 1;
+            self.note(
+                now,
+                TraceEvent::Dropped { packet: packet_ref(key), reason: DropReason::RhlExhausted },
+            );
             return Vec::new();
         }
         self.forward_towards(msg.with_rhl(rhl), position, de_pv, vec![frame.src], now)
@@ -463,7 +544,13 @@ impl GnRouter {
             if plaus.is_none_or(|r| position.distance(e.position) <= r)
                 && !exclude.contains(&de_pv.addr)
             {
-                self.stats.gf_unicast += 1;
+                self.note(
+                    now,
+                    TraceEvent::GfNextHop {
+                        packet: packet_ref_of(&msg),
+                        next_hop: de_pv.addr.to_u64(),
+                    },
+                );
                 return vec![RouterAction::Transmit(Frame::unicast(
                     self.addr(),
                     de_pv.addr,
@@ -472,22 +559,18 @@ impl GnRouter {
                 ))];
             }
         }
-        let decision = greedy_select_excluding(
-            &self.loct,
-            self.addr(),
-            position,
-            dest,
-            &exclude,
-            plaus,
-            now,
-        );
+        let decision =
+            greedy_select_excluding(&self.loct, self.addr(), position, dest, &exclude, plaus, now);
         match decision {
             GfDecision::NextHop { addr, .. } => {
-                self.stats.gf_unicast += 1;
+                self.note(
+                    now,
+                    TraceEvent::GfNextHop { packet: packet_ref_of(&msg), next_hop: addr.to_u64() },
+                );
                 vec![RouterAction::Transmit(Frame::unicast(self.addr(), addr, position, msg))]
             }
             GfDecision::NoProgress => {
-                self.stats.gf_fallback += 1;
+                self.note(now, TraceEvent::GfFallback { packet: packet_ref_of(&msg) });
                 vec![RouterAction::Transmit(Frame::broadcast(self.addr(), position, msg))]
             }
         }
@@ -496,15 +579,14 @@ impl GnRouter {
     /// Topologically-scoped broadcast: classic hop-limited flooding with
     /// duplicate suppression.
     fn handle_tsb(&mut self, frame: &Frame, position: Position, now: SimTime) -> Vec<RouterAction> {
-        let _ = now;
         let msg = &frame.msg;
         let key = PacketKey::of(msg).expect("TSB carries a sequence number");
         if !self.tsb_seen.insert(key) {
+            self.note(now, TraceEvent::DuplicateDiscarded { packet: packet_ref(key) });
             return Vec::new();
         }
-        self.stats.delivered += 1;
-        let mut actions =
-            vec![RouterAction::Deliver { key, payload: msg.packet.payload.clone() }];
+        self.note(now, TraceEvent::Delivered { packet: packet_ref(key) });
+        let mut actions = vec![RouterAction::Deliver { key, payload: msg.packet.payload.clone() }];
         let rhl = msg.rhl().saturating_sub(1);
         if rhl > 0 {
             actions.push(RouterAction::Transmit(Frame::broadcast(
@@ -513,7 +595,10 @@ impl GnRouter {
                 msg.with_rhl(rhl),
             )));
         } else {
-            self.stats.rhl_exhausted += 1;
+            self.note(
+                now,
+                TraceEvent::Dropped { packet: packet_ref(key), reason: DropReason::RhlExhausted },
+            );
         }
         actions
     }
@@ -537,37 +622,70 @@ impl GnRouter {
             );
             match verdict {
                 CbfVerdict::FirstCopy { contend } => {
-                    self.stats.delivered += 1;
-                    let mut actions = vec![RouterAction::Deliver {
-                        key,
-                        payload: msg.packet.payload.clone(),
-                    }];
+                    self.note(now, TraceEvent::Delivered { packet: packet_ref(key) });
+                    let mut actions =
+                        vec![RouterAction::Deliver { key, payload: msg.packet.payload.clone() }];
                     if let Some((delay, generation)) = contend {
+                        self.note(
+                            now,
+                            TraceEvent::CbfArmed {
+                                packet: packet_ref(key),
+                                delay_us: delay.as_micros(),
+                            },
+                        );
                         actions.push(RouterAction::CbfTimer { key, generation, delay });
                     } else {
-                        self.stats.rhl_exhausted += 1;
+                        self.note(
+                            now,
+                            TraceEvent::Dropped {
+                                packet: packet_ref(key),
+                                reason: DropReason::RhlExhausted,
+                            },
+                        );
                     }
                     actions
                 }
                 CbfVerdict::DuplicateDiscarded => {
-                    self.stats.cbf_discards += 1;
+                    self.note(
+                        now,
+                        TraceEvent::CbfCancelled {
+                            packet: packet_ref(key),
+                            by: frame.src.to_u64(),
+                        },
+                    );
                     Vec::new()
                 }
                 CbfVerdict::DuplicateRejectedByMitigation => {
-                    self.stats.cbf_mitigation_rejects += 1;
+                    self.note(
+                        now,
+                        TraceEvent::CbfMitigationRejected {
+                            packet: packet_ref(key),
+                            by: frame.src.to_u64(),
+                        },
+                    );
                     Vec::new()
                 }
-                CbfVerdict::AlreadyHandled => Vec::new(),
+                CbfVerdict::AlreadyHandled => {
+                    self.note(now, TraceEvent::DuplicateDiscarded { packet: packet_ref(key) });
+                    Vec::new()
+                }
             }
         } else {
             // Outside the area: forwarder role.
             if self.gf_seen.contains(&key) {
+                self.note(now, TraceEvent::DuplicateDiscarded { packet: packet_ref(key) });
                 return Vec::new();
             }
             self.gf_seen.insert(key);
             let rhl = msg.rhl().saturating_sub(1);
             if rhl == 0 {
-                self.stats.rhl_exhausted += 1;
+                self.note(
+                    now,
+                    TraceEvent::Dropped {
+                        packet: packet_ref(key),
+                        reason: DropReason::RhlExhausted,
+                    },
+                );
                 return Vec::new();
             }
             self.forward_greedy(msg.with_rhl(rhl), position, vec![frame.src], now)
@@ -599,24 +717,23 @@ impl GnRouter {
         );
         match decision {
             GfDecision::NextHop { addr, .. } => {
-                self.stats.gf_unicast += 1;
+                self.note(
+                    now,
+                    TraceEvent::GfNextHop { packet: packet_ref_of(&msg), next_hop: addr.to_u64() },
+                );
                 if let Some(ack) = self.config.link_ack {
                     if let Some(key) = PacketKey::of(&msg) {
                         let mut tried = exclude;
                         tried.push(addr);
                         self.gf_pending.insert(
                             key,
-                            PendingGf {
-                                msg: msg.clone(),
-                                tried,
-                                retries_left: ack.max_retries,
-                            },
+                            PendingGf { msg: msg.clone(), tried, retries_left: ack.max_retries },
                         );
                     }
                 }
                 vec![RouterAction::Transmit(Frame::unicast(self.addr(), addr, position, msg))]
             }
-            GfDecision::NoProgress => self.on_no_progress(msg, position, exclude),
+            GfDecision::NoProgress => self.on_no_progress(msg, position, exclude, now),
         }
     }
 
@@ -626,12 +743,13 @@ impl GnRouter {
         msg: SecuredPacket,
         position: Position,
         exclude: Vec<GnAddress>,
+        now: SimTime,
     ) -> Vec<RouterAction> {
         use crate::config::NoProgressPolicy;
         match self.config.no_progress {
             NoProgressPolicy::Broadcast => {
                 // Any receiver closer to the area continues forwarding.
-                self.stats.gf_fallback += 1;
+                self.note(now, TraceEvent::GfFallback { packet: packet_ref_of(&msg) });
                 vec![RouterAction::Transmit(Frame::broadcast(self.addr(), position, msg))]
             }
             NoProgressPolicy::BufferRetry { delay, max_attempts } => {
@@ -641,12 +759,21 @@ impl GnRouter {
                 let attempts_left = match self.gf_buffer.get(&key) {
                     Some(b) if b.attempts_left == 0 => {
                         self.gf_buffer.remove(&key);
-                        self.stats.gf_dropped += 1;
+                        self.note(
+                            now,
+                            TraceEvent::Dropped {
+                                packet: packet_ref(key),
+                                reason: DropReason::NoNextHop,
+                            },
+                        );
                         return Vec::new();
                     }
                     Some(b) => b.attempts_left - 1,
                     None => {
-                        self.stats.gf_buffered += 1;
+                        self.note(
+                            now,
+                            TraceEvent::GfBuffered { packet: packet_ref(key), attempt: 1 },
+                        );
                         max_attempts
                     }
                 };
@@ -654,7 +781,13 @@ impl GnRouter {
                 vec![RouterAction::GfRetry { key, delay }]
             }
             NoProgressPolicy::Drop => {
-                self.stats.gf_dropped += 1;
+                self.note(
+                    now,
+                    TraceEvent::Dropped {
+                        packet: packet_ref_of(&msg),
+                        reason: DropReason::NoNextHop,
+                    },
+                );
                 Vec::new()
             }
         }
@@ -673,10 +806,7 @@ impl GnRouter {
             return Vec::new();
         };
         // Re-insert so a repeated NoProgress decrements the budget.
-        self.gf_buffer.insert(
-            key,
-            BufferedGf { msg: buffered.msg.clone(), ..buffered.clone() },
-        );
+        self.gf_buffer.insert(key, BufferedGf { msg: buffered.msg.clone(), ..buffered.clone() });
         let actions = self.forward_greedy(buffered.msg, position, buffered.exclude, now);
         // If forwarding succeeded (or the packet was dropped) the entry is
         // stale; only a fresh GfRetry keeps it alive.
@@ -709,8 +839,11 @@ impl GnRouter {
         };
         if pending.retries_left == 0 {
             // Out of retries: last resort is the broadcast fallback.
-            self.stats.gf_ack_exhausted += 1;
-            self.stats.gf_fallback += 1;
+            self.note(
+                now,
+                TraceEvent::Dropped { packet: packet_ref(key), reason: DropReason::AckExhausted },
+            );
+            self.note(now, TraceEvent::GfFallback { packet: packet_ref(key) });
             return vec![RouterAction::Transmit(Frame::broadcast(
                 self.addr(),
                 position,
@@ -718,7 +851,14 @@ impl GnRouter {
             ))];
         }
         pending.retries_left -= 1;
-        self.stats.gf_ack_retries += 1;
+        let budget = self.config.link_ack.map_or(0, |a| a.max_retries);
+        self.note(
+            now,
+            TraceEvent::GfAckRetry {
+                packet: packet_ref(key),
+                attempt: u32::from(budget.saturating_sub(pending.retries_left)),
+            },
+        );
         let retries_left = pending.retries_left;
         let tried = pending.tried.clone();
         let actions = self.forward_greedy(pending.msg, position, tried, now);
@@ -737,11 +877,11 @@ impl GnRouter {
         key: PacketKey,
         generation: u64,
         position: Position,
-        _now: SimTime,
+        now: SimTime,
     ) -> Vec<RouterAction> {
         match self.cbf.take_expired(key, generation) {
             Some(packet) => {
-                self.stats.cbf_rebroadcast += 1;
+                self.note(now, TraceEvent::CbfFired { packet: packet_ref(key) });
                 vec![RouterAction::Transmit(Frame::broadcast(self.addr(), position, packet))]
             }
             None => Vec::new(),
@@ -885,9 +1025,7 @@ mod tests {
     #[test]
     fn plausibility_mitigation_prefers_reachable_neighbor() {
         let h = Harness::new();
-        let config = h
-            .config
-            .with_mitigations(MitigationConfig::plausibility(486.0));
+        let config = h.config.with_mitigations(MitigationConfig::plausibility(486.0));
         let far = h.router(3);
         let near = h.router(2);
         let mut victim = h.router_with(1, config);
@@ -965,14 +1103,13 @@ mod tests {
         let RouterAction::Transmit(frame) = &actions[0] else { panic!() };
         let got = dst.handle_frame(frame, Position::new(1_400.0, 2.5), NOW);
         assert_eq!(got.len(), 2);
-        assert!(matches!(&got[0], RouterAction::Deliver { key: k, payload } if *k == key && payload == &vec![9]));
+        assert!(
+            matches!(&got[0], RouterAction::Deliver { key: k, payload } if *k == key && payload == &vec![9])
+        );
         match &got[1] {
             RouterAction::CbfTimer { key: k, delay, .. } => {
                 assert_eq!(*k, key);
-                assert_eq!(
-                    *delay,
-                    h.config.cbf_params().contention_timeout(400.0)
-                );
+                assert_eq!(*delay, h.config.cbf_params().contention_timeout(400.0));
             }
             other => panic!("{other:?}"),
         }
@@ -1019,16 +1156,14 @@ mod tests {
         let RouterAction::CbfTimer { generation: pg, delay: pd, .. } = peer_got[1] else {
             panic!()
         };
-        let rebroadcast =
-            peer.handle_cbf_timer(key, pg, Position::new(1_450.0, 2.5), NOW + pd);
+        let rebroadcast = peer.handle_cbf_timer(key, pg, Position::new(1_450.0, 2.5), NOW + pd);
         let RouterAction::Transmit(dup) = &rebroadcast[0] else { panic!() };
         // dst hears the duplicate before its own (larger) timer fires.
         let dup_actions = dst.handle_frame(dup, Position::new(1_200.0, 2.5), NOW + pd);
         assert!(dup_actions.is_empty());
         assert_eq!(dst.stats().cbf_discards, 1);
         // dst's stale timer yields nothing.
-        let nothing =
-            dst.handle_cbf_timer(key, generation, Position::new(1_200.0, 2.5), NOW + pd);
+        let nothing = dst.handle_cbf_timer(key, generation, Position::new(1_200.0, 2.5), NOW + pd);
         assert!(nothing.is_empty());
     }
 
@@ -1254,11 +1389,12 @@ mod tests {
             Position::ORIGIN,
             t,
         );
-        let (key, _) =
-            a.originate(&east_area(), vec![1], t, Position::ORIGIN, 30.0, Heading::EAST);
+        let (key, _) = a.originate(&east_area(), vec![1], t, Position::ORIGIN, 30.0, Heading::EAST);
         // First failure: one retry allowed (to v2).
         let r1 = a.handle_ack_failure(key, Position::ORIGIN, t + SimDuration::from_millis(5));
-        assert!(matches!(&r1[..], [RouterAction::Transmit(f)] if f.dst == Some(GnAddress::vehicle(2))));
+        assert!(
+            matches!(&r1[..], [RouterAction::Transmit(f)] if f.dst == Some(GnAddress::vehicle(2)))
+        );
         // Second failure: budget spent, fall back to broadcast.
         let r2 = a.handle_ack_failure(key, Position::ORIGIN, t + SimDuration::from_millis(10));
         assert!(matches!(&r2[..], [RouterAction::Transmit(f)] if f.dst.is_none()), "{r2:?}");
@@ -1276,8 +1412,7 @@ mod tests {
             Position::ORIGIN,
             t,
         );
-        let (key, _) =
-            a.originate(&east_area(), vec![1], t, Position::ORIGIN, 30.0, Heading::EAST);
+        let (key, _) = a.originate(&east_area(), vec![1], t, Position::ORIGIN, 30.0, Heading::EAST);
         assert!(a.handle_ack_failure(key, Position::ORIGIN, t).is_empty());
     }
 
@@ -1324,7 +1459,11 @@ mod tests {
         let t = NOW + SimDuration::from_millis(1);
         let c = h.router(3);
         let c_beacon = c.make_beacon(NOW, Position::new(900.0, 0.0), 30.0, Heading::EAST);
-        a.handle_frame(&b.make_beacon(NOW, Position::new(400.0, 0.0), 30.0, Heading::EAST), Position::ORIGIN, t);
+        a.handle_frame(
+            &b.make_beacon(NOW, Position::new(400.0, 0.0), 30.0, Heading::EAST),
+            Position::ORIGIN,
+            t,
+        );
         let de_pv = crate::wire::ShortPositionVector::from_long(c_beacon.msg.packet.so_pv());
         let (_, actions) =
             a.originate_guc(de_pv, vec![1], t, Position::ORIGIN, 30.0, Heading::EAST);
@@ -1340,14 +1479,8 @@ mod tests {
         let h = Harness::new();
         let mut src = h.router(1);
         let mut relay = h.router(2);
-        let (key, actions) = src.originate_tsb(
-            vec![0x77],
-            5,
-            NOW,
-            Position::ORIGIN,
-            30.0,
-            Heading::EAST,
-        );
+        let (key, actions) =
+            src.originate_tsb(vec![0x77], 5, NOW, Position::ORIGIN, 30.0, Heading::EAST);
         let RouterAction::Transmit(f) = &actions[0] else { panic!() };
         assert_eq!(f.dst, None);
         let got = relay.handle_frame(f, Position::new(300.0, 0.0), NOW);
@@ -1414,5 +1547,78 @@ mod tests {
         let h = Harness::new();
         let r = h.router(1);
         assert!(format!("{r:?}").contains("GnRouter"));
+    }
+
+    #[test]
+    fn tracer_records_cbf_cancellation_with_culprit() {
+        use geonet_sim::{shared, Tracer, VecSink};
+        let h = Harness::new();
+        let mut src = h.router(1);
+        let mut dst = h.router(2);
+        let mut peer = h.router(3);
+        let sink = shared(VecSink::new());
+        dst.set_tracer(Tracer::attached(sink.clone()).for_node(2));
+        let area = Area::rectangle(Position::new(2_000.0, 0.0), 2_000.0, 20.0, 90.0);
+        let (key, actions) =
+            src.originate(&area, vec![9], NOW, Position::new(1_000.0, 2.5), 30.0, Heading::EAST);
+        let RouterAction::Transmit(frame) = &actions[0] else { panic!() };
+        dst.handle_frame(frame, Position::new(1_200.0, 2.5), NOW);
+        let peer_got = peer.handle_frame(frame, Position::new(1_450.0, 2.5), NOW);
+        let RouterAction::CbfTimer { generation: pg, delay: pd, .. } = peer_got[1] else {
+            panic!()
+        };
+        let rebroadcast = peer.handle_cbf_timer(key, pg, Position::new(1_450.0, 2.5), NOW + pd);
+        let RouterAction::Transmit(dup) = &rebroadcast[0] else { panic!() };
+        dst.handle_frame(dup, Position::new(1_200.0, 2.5), NOW + pd);
+
+        let records = sink.borrow().records().to_vec();
+        let pkt = super::packet_ref(key);
+        let names: Vec<&str> = records.iter().map(|r| r.event.name()).collect();
+        assert_eq!(names, ["delivered", "cbf_armed", "cbf_cancelled"], "{records:?}");
+        assert!(records.iter().all(|r| r.node == 2));
+        assert!(records.iter().all(|r| r.event.packet() == Some(pkt)));
+        match records.last().unwrap().event {
+            TraceEvent::CbfCancelled { by, .. } => {
+                assert_eq!(by, GnAddress::vehicle(3).to_u64(), "cancelled by the peer's dup");
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_equal_fold_of_emitted_events() {
+        use geonet_sim::{shared, Tracer, VecSink};
+        let h = Harness::new();
+        let mut a = h.router(1);
+        let mut b = h.router(2);
+        let sink = shared(VecSink::new());
+        a.set_tracer(Tracer::attached(sink.clone()).for_node(1));
+        let t = NOW + SimDuration::from_millis(1);
+        // Exercise a mix of paths: beacon accept, GF unicast, fallback,
+        // RHL exhaustion, stale + tampered beacons.
+        a.handle_frame(
+            &b.make_beacon(NOW, Position::new(400.0, 0.0), 30.0, Heading::EAST),
+            Position::ORIGIN,
+            t,
+        );
+        a.originate(&east_area(), vec![1], t, Position::ORIGIN, 30.0, Heading::EAST);
+        let (_, actions) =
+            b.originate(&east_area(), vec![2], t, Position::new(4_500.0, 0.0), 30.0, Heading::EAST);
+        if let Some(RouterAction::Transmit(f)) = actions.first() {
+            let clamped = Frame { msg: f.msg.with_rhl(1), ..f.clone() };
+            a.handle_frame(&clamped, Position::ORIGIN, t);
+        }
+        a.handle_frame(
+            &b.make_beacon(NOW, Position::new(400.0, 0.0), 30.0, Heading::EAST),
+            Position::ORIGIN,
+            t + SimDuration::from_secs(5),
+        );
+
+        let mut derived = RouterStats::default();
+        for r in sink.borrow().records() {
+            derived.record(&r.event);
+        }
+        assert_ne!(a.stats(), RouterStats::default(), "the scenario exercised something");
+        assert_eq!(a.stats(), derived, "stats are exactly the fold of the trace");
     }
 }

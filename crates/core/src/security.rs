@@ -228,8 +228,7 @@ mod tests {
             &r,
         );
         let area = Area::circle(Position::new(4_020.0, 0.0), 50.0);
-        let packet =
-            GnPacket::geobroadcast(SequenceNumber(1), pv, &area, &r, vec![0xAA], 10);
+        let packet = GnPacket::geobroadcast(SequenceNumber(1), pv, &area, &r, vec![0xAA], 10);
         let msg = creds.sign(packet);
         (ca, creds, msg)
     }
@@ -302,10 +301,7 @@ mod tests {
     fn forged_certificate_rejected() {
         let (ca, _, mut msg) = setup();
         // Attacker invents a certificate for its own address.
-        msg.signer = Certificate {
-            subject: GnAddress::vehicle(666),
-            attestation: 0xBAD0_BAD0,
-        };
+        msg.signer = Certificate { subject: GnAddress::vehicle(666), attestation: 0xBAD0_BAD0 };
         assert!(!ca.verifier().certificate_valid(&msg.signer));
         assert!(!ca.verifier().verify(&msg));
     }

@@ -44,9 +44,7 @@ impl fmt::Display for StationType {
 ///
 /// Vehicles may use pseudonymous identifiers for privacy; the address is
 /// still what the location table is keyed by.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GnAddress {
     station_type: StationType,
     mid: u64,
@@ -59,20 +57,20 @@ impl GnAddress {
     ///
     /// Panics if `mid` does not fit in 48 bits.
     #[must_use]
-    pub fn new(station_type: StationType, mid: u64) -> Self {
-        assert!(mid < (1 << 48), "link-layer id must fit in 48 bits: {mid:#x}");
+    pub const fn new(station_type: StationType, mid: u64) -> Self {
+        assert!(mid < (1 << 48), "link-layer id must fit in 48 bits");
         GnAddress { station_type, mid }
     }
 
     /// A vehicle address with the given identifier.
     #[must_use]
-    pub fn vehicle(mid: u64) -> Self {
+    pub const fn vehicle(mid: u64) -> Self {
         GnAddress::new(StationType::Vehicle, mid)
     }
 
     /// A roadside-unit address with the given identifier.
     #[must_use]
-    pub fn roadside(mid: u64) -> Self {
+    pub const fn roadside(mid: u64) -> Self {
         GnAddress::new(StationType::RoadsideUnit, mid)
     }
 

@@ -247,10 +247,7 @@ mod tests {
 
     #[test]
     fn basic_header_truncated() {
-        assert!(matches!(
-            BasicHeader::decode(&[0x11, 0, 0]),
-            Err(WireError::Truncated { .. })
-        ));
+        assert!(matches!(BasicHeader::decode(&[0x11, 0, 0]), Err(WireError::Truncated { .. })));
     }
 
     #[test]

@@ -36,11 +36,7 @@ fn decode_lpv(buf: &[u8], offset: usize) -> Result<LongPositionVector, WireError
     let pai = packed >> 15 == 1;
     // Sign-extend the 15-bit speed.
     let raw15 = packed & 0x7FFF;
-    let speed_cm_s = if raw15 & 0x4000 != 0 {
-        (raw15 | 0x8000) as i16
-    } else {
-        raw15 as i16
-    };
+    let speed_cm_s = if raw15 & 0x4000 != 0 { (raw15 | 0x8000) as i16 } else { raw15 as i16 };
     let heading_decideg = u16::from_be_bytes(b[22..24].try_into().expect("2 bytes"));
     Ok(LongPositionVector {
         addr,
@@ -413,9 +409,7 @@ impl GnPacket {
     /// Encodes the full packet to wire bytes.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(
-            BASIC_LEN + COMMON_LEN + GBC_LEN + self.payload.len(),
-        );
+        let mut out = Vec::with_capacity(BASIC_LEN + COMMON_LEN + GBC_LEN + self.payload.len());
         self.basic.encode(&mut out);
         self.common.encode(&mut out);
         match &self.extended {
@@ -632,8 +626,7 @@ mod tests {
     fn protected_encoding_zeroes_rhl_only() {
         let r = GeoReference::default();
         let area = Area::circle(Position::new(4_020.0, 0.0), 50.0);
-        let mut p =
-            GnPacket::geobroadcast(SequenceNumber(1), sample_pv(2), &area, &r, vec![9], 10);
+        let mut p = GnPacket::geobroadcast(SequenceNumber(1), sample_pv(2), &area, &r, vec![9], 10);
         let protected_at_10 = p.encode_protected();
         p.basic.rhl = 1; // forwarder (or attacker) rewrites RHL
         let protected_at_1 = p.encode_protected();
@@ -663,14 +656,8 @@ mod tests {
     fn truncation_detected_at_every_length() {
         let r = GeoReference::default();
         let area = Area::circle(Position::new(0.0, 0.0), 100.0);
-        let p = GnPacket::geobroadcast(
-            SequenceNumber(7),
-            sample_pv(3),
-            &area,
-            &r,
-            vec![1, 2, 3],
-            10,
-        );
+        let p =
+            GnPacket::geobroadcast(SequenceNumber(7), sample_pv(3), &area, &r, vec![1, 2, 3], 10);
         let bytes = p.encode();
         for len in 0..bytes.len() {
             assert!(
@@ -683,12 +670,8 @@ mod tests {
 
     #[test]
     fn zero_half_axis_rejected() {
-        let wa = WireArea {
-            center: GeoCoord { lat: 0, lon: 0 },
-            dist_a: 0,
-            dist_b: 10,
-            angle_deg: 0,
-        };
+        let wa =
+            WireArea { center: GeoCoord { lat: 0, lon: 0 }, dist_a: 0, dist_b: 10, angle_deg: 0 };
         assert_eq!(
             wa.to_area(AreaShape::Circle, &GeoReference::default()),
             Err(WireError::BadFieldValue("area half-axis"))

@@ -28,8 +28,7 @@ fn frame_pool(ca: &CertificateAuthority, now: SimTime) -> Vec<Frame> {
         let pos = Position::new(mid as f64 * 250.0, 2.5);
         frames.push(r.make_beacon(now, pos, 30.0, Heading::EAST));
         let (_, actions) = r.originate(&area, vec![mid as u8], now, pos, 30.0, Heading::EAST);
-        let (_, actions2) =
-            r.originate(&far_area, vec![mid as u8], now, pos, 30.0, Heading::EAST);
+        let (_, actions2) = r.originate(&far_area, vec![mid as u8], now, pos, 30.0, Heading::EAST);
         let (_, actions3) = r.originate_tsb(vec![mid as u8], 5, now, pos, 30.0, Heading::EAST);
         let actions4 = r.originate_shb(vec![mid as u8], now, pos, 30.0, Heading::EAST);
         for a in actions.into_iter().chain(actions2).chain(actions3).chain(actions4) {

@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--runs N] [--duration SECS] [--seed S] [--csv] <experiment>...
+//! repro [--runs N] [--duration SECS] [--seed S] [--csv]
+//!       [--trace PREFIX] [--forensics] <experiment>...
 //! ```
 //!
 //! Experiments: `table1 table2 fig7a fig7b fig7c fig7d fig7e fig8
@@ -11,13 +12,25 @@
 //!
 //! Defaults to a reduced scale (5 runs × 100 s); pass `--runs 100
 //! --duration 200` for the paper's full scale.
+//!
+//! `--trace PREFIX` and `--forensics` add a *forensic pass*: one traced,
+//! attacked single run per attack family (interception and blockage) at
+//! the current duration and seed. `--trace` streams each run's events to
+//! `PREFIX.<family>.jsonl` (one JSON object per line — the schema of
+//! [`geonet_sim::trace`]); `--forensics` prints the per-run loss
+//! attribution table and the busiest nodes' counters. With either flag
+//! the experiment list may be empty.
 
+use geonet_attack::IntraAreaAttacker;
 use geonet_radio::RangeProfile;
 use geonet_scenarios::config::Scale;
+use geonet_scenarios::forensics::{top_nodes, AttributionReport};
 use geonet_scenarios::report::{render_table, series_to_csv, to_csv, ExperimentRow};
 use geonet_scenarios::{
     analysis, extensions, impact, interarea, intraarea, mitigation, safety, AbResult,
+    ScenarioConfig,
 };
+use geonet_sim::{shared, JsonlSink, TraceSink, VecSink};
 use geonet_traffic::IdmParams;
 use std::process::ExitCode;
 
@@ -25,6 +38,8 @@ struct Options {
     scale: Scale,
     seed: u64,
     csv: bool,
+    trace: Option<String>,
+    forensics: bool,
     experiments: Vec<String>,
 }
 
@@ -32,6 +47,8 @@ fn parse_args() -> Result<Options, String> {
     let mut scale = Scale { runs: 5, duration_s: 100 };
     let mut seed = 42;
     let mut csv = false;
+    let mut trace = None;
+    let mut forensics = false;
     let mut experiments = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,11 +75,18 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--seed: {e}"))?;
             }
             "--csv" => csv = true,
+            "--trace" => {
+                trace = Some(args.next().ok_or("--trace needs a path prefix")?);
+            }
+            "--forensics" => forensics = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--runs N] [--duration SECS] [--seed S] [--csv] <experiment>...\n\
+                    "usage: repro [--runs N] [--duration SECS] [--seed S] [--csv]\n\
+                     \x20            [--trace PREFIX] [--forensics] <experiment>...\n\
                      experiments: table1 table2 fig7a fig7b fig7c fig7d fig7e fig8 fig9a fig9b\n\
-                     fig9c fig9d fig9e fig9src fig10 fig12a fig12b fig13 fig14a fig14b all"
+                     fig9c fig9d fig9e fig9src fig10 fig12a fig12b fig13 fig14a fig14b all\n\
+                     --trace PREFIX  write PREFIX.<family>.jsonl event logs (forensic pass)\n\
+                     --forensics     print per-run loss attribution and busiest-node counters"
                 );
                 std::process::exit(0);
             }
@@ -70,7 +94,7 @@ fn parse_args() -> Result<Options, String> {
             other => experiments.push(other.to_string()),
         }
     }
-    if experiments.is_empty() {
+    if experiments.is_empty() && trace.is_none() && !forensics {
         return Err("no experiments given (try `repro --help`)".into());
     }
     if experiments.iter().any(|e| e == "all") {
@@ -83,7 +107,69 @@ fn parse_args() -> Result<Options, String> {
         .map(|s| (*s).to_string())
         .collect();
     }
-    Ok(Options { scale, seed, csv, experiments })
+    Ok(Options { scale, seed, csv, trace, forensics, experiments })
+}
+
+/// One traced, attacked run per attack family: JSONL dumps for
+/// `--trace`, attribution tables and busiest-node counters for
+/// `--forensics`.
+fn forensic_pass(opts: &Options) -> Result<(), String> {
+    let cfg = ScenarioConfig::paper_dsrc_default()
+        .with_duration(geonet_sim::SimDuration::from_secs(opts.scale.duration_s));
+    for family in ["interarea", "intraarea"] {
+        let sink = shared(VecSink::new());
+        // The attacker's link-layer address, where one shows up in the
+        // evidence: the blockage attacker replays under its pseudonym;
+        // the interception attacker replays beacons verbatim and never
+        // transmits under a name of its own.
+        let attacker = match family {
+            "interarea" => {
+                let _ = interarea::run_one_traced(
+                    &cfg.with_attack_range(486.0),
+                    true,
+                    opts.seed,
+                    sink.clone(),
+                );
+                None
+            }
+            _ => {
+                let _ = intraarea::run_one_traced(
+                    &cfg.with_attack_range(500.0),
+                    true,
+                    opts.seed,
+                    sink.clone(),
+                );
+                Some(IntraAreaAttacker::DEFAULT_PSEUDONYM.to_u64())
+            }
+        };
+        let records = sink.borrow().records().to_vec();
+        if let Some(prefix) = &opts.trace {
+            let path = format!("{prefix}.{family}.jsonl");
+            let file = std::fs::File::create(&path).map_err(|e| format!("--trace {path}: {e}"))?;
+            let mut jsonl = JsonlSink::new(std::io::BufWriter::new(file));
+            for r in &records {
+                jsonl.record(r.at, r.node, &r.event);
+            }
+            jsonl.into_inner().map_err(|e| format!("--trace {path}: {e}"))?;
+            eprintln!("# trace: {} events -> {path}", records.len());
+        }
+        if opts.forensics {
+            println!("Forensics — one attacked {family} run, seed {}", opts.seed);
+            println!("{}", AttributionReport::build(&records, attacker));
+            println!("busiest nodes:");
+            for (node, counters, total) in top_nodes(&records, 5) {
+                let summary: Vec<String> = counters
+                    .top_counters()
+                    .into_iter()
+                    .take(4)
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                println!("  node {node:>4} {total:>7} events  {}", summary.join(" "));
+            }
+            println!();
+        }
+    }
+    Ok(())
 }
 
 fn ab_rows(experiment: &str, results: &[AbResult], paper: &[Option<f64>]) -> Vec<ExperimentRow> {
@@ -266,8 +352,7 @@ fn run_experiment(opts: &Options, name: &str) -> Result<(), String> {
                     let g = |p: &Vec<(f64, f64)>| {
                         p.get(i).map(|&(_, v)| format!("{v:.2}")).unwrap_or_default()
                     };
-                    let t =
-                        af.v1_profile.get(i).or(atk.v1_profile.get(i)).map_or(0.0, |&(t, _)| t);
+                    let t = af.v1_profile.get(i).or(atk.v1_profile.get(i)).map_or(0.0, |&(t, _)| t);
                     println!(
                         "{t:.1},{},{},{},{}",
                         g(&af.v1_profile),
@@ -299,9 +384,11 @@ fn run_experiment(opts: &Options, name: &str) -> Result<(), String> {
             println!("Closed-form geometry model vs the paper (no simulation)");
             let base = geonet_scenarios::ScenarioConfig::paper_dsrc_default();
             println!("inter-area γ:");
-            for (label, range, paper) in
-                [("wN", 327.0, Some(0.468)), ("mN", 486.0, Some(0.999)), ("mL", 1_283.0, Some(0.999))]
-            {
+            for (label, range, paper) in [
+                ("wN", 327.0, Some(0.468)),
+                ("mN", 486.0, Some(0.999)),
+                ("mL", 1_283.0, Some(0.999)),
+            ] {
                 let g = analysis::predicted_gamma(&base.with_attack_range(range));
                 let p = paper.map_or("  —  ".to_string(), |v: f64| format!("{:5.1}%", v * 100.0));
                 println!("  {label:<4} predicted={:5.1}%  paper={p}", g * 100.0);
@@ -327,11 +414,7 @@ fn run_experiment(opts: &Options, name: &str) -> Result<(), String> {
             }
             println!("channel load (frames on air per setting, without → with ACK):");
             for (label, plain, acked) in extensions::ack_overhead(scale, seed) {
-                let pct = if plain > 0 {
-                    (acked as f64 / plain as f64 - 1.0) * 100.0
-                } else {
-                    0.0
-                };
+                let pct = if plain > 0 { (acked as f64 / plain as f64 - 1.0) * 100.0 } else { 0.0 };
                 println!("  {label:<10} {plain} → {acked} ({pct:+.1}%)");
             }
             println!();
@@ -375,6 +458,12 @@ fn main() -> ExitCode {
     );
     for name in opts.experiments.clone() {
         if let Err(e) = run_experiment(&opts, &name) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if opts.trace.is_some() || opts.forensics {
+        if let Err(e) = forensic_pass(&opts) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }

@@ -25,8 +25,7 @@ use geonet_sim::{SimDuration, TimeBins};
 
 fn merged_interarea(cfg: &ScenarioConfig, attacked: bool, scale: Scale, seed: u64) -> TimeBins {
     let cfg = cfg.with_duration(scale.duration());
-    let bin_count =
-        usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
+    let bin_count = usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
     let mut bins = TimeBins::new(SimDuration::from_secs(5), bin_count);
     for i in 0..scale.runs {
         let s = seed.wrapping_add(u64::from(i) * 0x9E37);
@@ -43,10 +42,7 @@ fn merged_interarea(cfg: &ScenarioConfig, attacked: bool, scale: Scale, seed: u6
 #[must_use]
 pub fn ack_defense(scale: Scale, seed: u64) -> Vec<MitigationResult> {
     let base = ScenarioConfig::paper_dsrc_default().with_attack_range(486.0);
-    let acked = ScenarioConfig {
-        gn: base.gn.with_link_ack(LinkAckConfig::default()),
-        ..base
-    };
+    let acked = ScenarioConfig { gn: base.gn.with_link_ack(LinkAckConfig::default()), ..base };
     [0.0, 0.1, 0.3]
         .into_iter()
         .map(|loss| MitigationResult {
@@ -102,10 +98,7 @@ pub fn ack_overhead(scale: Scale, seed: u64) -> Vec<(String, u64, u64)> {
     let base = ScenarioConfig::paper_dsrc_default()
         .with_attack_range(486.0)
         .with_duration(scale.duration());
-    let acked = ScenarioConfig {
-        gn: base.gn.with_link_ack(LinkAckConfig::default()),
-        ..base
-    };
+    let acked = ScenarioConfig { gn: base.gn.with_link_ack(LinkAckConfig::default()), ..base };
     [0.0, 0.1, 0.3]
         .into_iter()
         .map(|loss| {
@@ -114,8 +107,7 @@ pub fn ack_overhead(scale: Scale, seed: u64) -> Vec<(String, u64, u64)> {
             for i in 0..scale.runs {
                 let s = seed.wrapping_add(u64::from(i) * 0x9E37);
                 plain += interarea::run_one_with_load(&base.with_frame_loss(loss), true, s).1;
-                with_ack +=
-                    interarea::run_one_with_load(&acked.with_frame_loss(loss), true, s).1;
+                with_ack += interarea::run_one_with_load(&acked.with_frame_loss(loss), true, s).1;
             }
             (format!("loss={:.0}%", loss * 100.0), plain, with_ack)
         })
@@ -157,10 +149,7 @@ mod tests {
         let clean = &results[0];
         assert_eq!(clean.label, "loss=0%");
         // ACK+retry routes around the poisoned next hops.
-        assert!(
-            clean.improvement().unwrap() > 0.3,
-            "ACK defense ineffective: {clean}"
-        );
+        assert!(clean.improvement().unwrap() > 0.3, "ACK defense ineffective: {clean}");
     }
 
     #[test]

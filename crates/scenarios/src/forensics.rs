@@ -1,0 +1,423 @@
+//! Post-run packet forensics: hop-trace reconstruction and loss
+//! attribution.
+//!
+//! The tracing layer ([`geonet_sim::trace`]) records *what happened*;
+//! this module answers *why a packet did or did not arrive*. Given the
+//! flat event stream of a run it rebuilds one chronological
+//! [`HopTrace`] per packet and classifies each packet's [`PacketFate`]:
+//! delivered, lost on the radio, hop-limit exhausted, intercepted by a
+//! poisoned greedy forward, or blocked by a cancelled CBF timer — the
+//! last two being precisely the paper's two attacks showing up in the
+//! evidence.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use geonet_scenarios::forensics::AttributionReport;
+//! use geonet_sim::{shared, VecSink};
+//! use geonet_scenarios::{AttackerSetup, ScenarioConfig, World};
+//!
+//! let sink = shared(VecSink::new());
+//! let mut world = World::new(
+//!     ScenarioConfig::paper_dsrc_default(),
+//!     Some(AttackerSetup::InterArea),
+//!     42,
+//! );
+//! world.set_trace_sink(sink.clone());
+//! world.run_to_end();
+//! let report = AttributionReport::build(sink.borrow().records(), None);
+//! println!("{report}");
+//! ```
+
+use geonet_sim::{DropReason, EventCounters, PacketRef, TraceEvent, TraceRecord};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The chronological event sequence of one packet, across all nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopTrace {
+    /// The packet all events concern.
+    pub packet: PacketRef,
+    /// Every event referencing the packet, in emission order.
+    pub events: Vec<TraceRecord>,
+}
+
+impl HopTrace {
+    /// The last event of the trace, if any.
+    #[must_use]
+    pub fn final_event(&self) -> Option<&TraceRecord> {
+        self.events.last()
+    }
+
+    /// Classifies the packet's fate from its event sequence.
+    ///
+    /// The scan runs backwards from the last event to the first
+    /// *decisive* one; bookkeeping events (receptions, duplicate
+    /// discards, attacker actions, timer arms) are skipped because each
+    /// is always followed by the event that actually decides the
+    /// packet's fortune at that node.
+    ///
+    /// Two rules keep the verdicts honest:
+    ///
+    /// * A CBF cancellation is decisive only when the cancelling
+    ///   duplicate came from `attacker` — and then it wins outright,
+    ///   even over an earlier delivery: the attack killed the packet's
+    ///   *spread* (the paper's λ is about how far a packet reaches, and
+    ///   an in-area contender always delivers the first copy before its
+    ///   timer is cancelled). Cancellation by a legitimate contender is
+    ///   how CBF is supposed to work and is skipped.
+    /// * Every other loss event (hop-limit death, frame loss, a
+    ///   transmission nobody advanced) yields a loss verdict only when
+    ///   the packet was never delivered anywhere — a healthy
+    ///   GeoBroadcast wavefront always dies *somewhere*, and that tail
+    ///   noise must not overwrite a delivery.
+    #[must_use]
+    pub fn fate(&self, attacker: Option<u64>) -> PacketFate {
+        let delivered_any =
+            self.events.iter().any(|r| matches!(r.event, TraceEvent::Delivered { .. }));
+        let lost = |fate: PacketFate| if delivered_any { PacketFate::Delivered } else { fate };
+        for record in self.events.iter().rev() {
+            match record.event {
+                TraceEvent::Delivered { .. } => return PacketFate::Delivered,
+                TraceEvent::CbfCancelled { by, .. } if attacker == Some(by) => {
+                    return PacketFate::Blocked { by };
+                }
+                // A cancellation by a legitimate contender is CBF working
+                // as designed: keep scanning.
+                TraceEvent::Dropped { reason: DropReason::RhlExhausted, .. } => {
+                    return lost(PacketFate::LostToHopLimit);
+                }
+                TraceEvent::Dropped { reason, .. } => {
+                    return lost(PacketFate::Dropped { reason });
+                }
+                TraceEvent::FrameLost { .. } => return lost(PacketFate::LostToRadio),
+                TraceEvent::FrameTx { dst: Some(next_hop), .. } => {
+                    // A unicast left the radio and nothing downstream
+                    // advanced the packet: the forwarder was talking to
+                    // a neighbour that is not there — the interception
+                    // attack's signature.
+                    return lost(PacketFate::Intercepted { at: next_hop });
+                }
+                TraceEvent::FrameTx { dst: None, .. } => {
+                    // A broadcast nobody acted on: out of everyone's
+                    // range.
+                    return lost(PacketFate::LostToRadio);
+                }
+                _ => {}
+            }
+        }
+        lost(PacketFate::Unresolved)
+    }
+}
+
+/// Why a packet ended the run the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Reached at least one destination.
+    Delivered,
+    /// The last copy on the air was lost by the radio (stochastic frame
+    /// loss, or a broadcast out of everyone's range).
+    LostToRadio,
+    /// Every path exhausted the remaining hop limit.
+    LostToHopLimit,
+    /// A greedy forwarder unicast the packet to address bits `at` and
+    /// nothing ever came of it — the poisoned-LocT interception attack.
+    Intercepted {
+        /// Address bits of the phantom next hop.
+        at: u64,
+    },
+    /// The last CBF contention timer was cancelled by a duplicate from
+    /// address bits `by` — the blockage attack.
+    Blocked {
+        /// Address bits of the canceller (the attacker's pseudonym).
+        by: u64,
+    },
+    /// The router discarded the packet for a non-hop-limit reason.
+    Dropped {
+        /// The recorded discard reason.
+        reason: DropReason,
+    },
+    /// The trace ends without a decisive event (e.g. still buffered at
+    /// the end of the run).
+    Unresolved,
+}
+
+impl fmt::Display for PacketFate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketFate::Delivered => write!(f, "delivered"),
+            PacketFate::LostToRadio => write!(f, "lost-to-radio"),
+            PacketFate::LostToHopLimit => write!(f, "lost-to-hop-limit"),
+            PacketFate::Intercepted { at } => write!(f, "intercepted-at-{at:#x}"),
+            PacketFate::Blocked { by } => write!(f, "blocked-by-{by:#x}"),
+            PacketFate::Dropped { reason } => write!(f, "dropped ({reason})"),
+            PacketFate::Unresolved => write!(f, "unresolved"),
+        }
+    }
+}
+
+/// Groups a run's event stream into one [`HopTrace`] per packet.
+///
+/// Events carrying no packet reference (beacons, hazards, collisions)
+/// are left out. Traces come back keyed and ordered by packet identity.
+#[must_use]
+pub fn hop_traces(records: &[TraceRecord]) -> BTreeMap<PacketRef, HopTrace> {
+    let mut traces: BTreeMap<PacketRef, HopTrace> = BTreeMap::new();
+    for record in records {
+        if let Some(packet) = record.event.packet() {
+            traces
+                .entry(packet)
+                .or_insert_with(|| HopTrace { packet, events: Vec::new() })
+                .events
+                .push(record.clone());
+        }
+    }
+    traces
+}
+
+/// Folds a run's event stream into per-node typed counters, with the
+/// node's total event count alongside.
+#[must_use]
+pub fn per_node_counters(records: &[TraceRecord]) -> BTreeMap<u32, (EventCounters, u64)> {
+    let mut nodes: BTreeMap<u32, (EventCounters, u64)> = BTreeMap::new();
+    for record in records {
+        let (counters, total) = nodes.entry(record.node).or_default();
+        counters.record(&record.event);
+        *total += 1;
+    }
+    nodes
+}
+
+/// The `n` busiest nodes of a run, by total events emitted (ties broken
+/// by node id, so the ranking is deterministic).
+#[must_use]
+pub fn top_nodes(records: &[TraceRecord], n: usize) -> Vec<(u32, EventCounters, u64)> {
+    let mut ranked: Vec<(u32, EventCounters, u64)> = per_node_counters(records)
+        .into_iter()
+        .map(|(node, (counters, total))| (node, counters, total))
+        .collect();
+    ranked.sort_by_key(|&(node, _, total)| (std::cmp::Reverse(total), node));
+    ranked.truncate(n);
+    ranked
+}
+
+/// The per-run attribution report: every traced packet classified.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttributionReport {
+    /// Packets traced in total.
+    pub total: usize,
+    /// Packets that reached a destination.
+    pub delivered: usize,
+    /// Packets whose last copy died on the radio.
+    pub lost_to_radio: usize,
+    /// Packets that ran out of hops everywhere.
+    pub lost_to_hop_limit: usize,
+    /// Interception victims, keyed by the phantom next hop's address
+    /// bits.
+    pub intercepted: BTreeMap<u64, usize>,
+    /// Blockage victims, keyed by the cancelling duplicate's address
+    /// bits.
+    pub blocked: BTreeMap<u64, usize>,
+    /// Router discards by reason, indexed by [`DropReason::index`].
+    /// Every variant has a row even at zero, so a report always shows
+    /// the full attribution vocabulary.
+    pub dropped: [usize; DropReason::ALL.len()],
+    /// Packets without a decisive final event.
+    pub unresolved: usize,
+    /// CBF timers cancelled by the attacker's duplicates, across all
+    /// packets — the blockage attack's footprint. Unlike the `blocked`
+    /// fate this also counts packets that still reached *some*
+    /// receivers: the paper's λ is about how far a packet spreads, not
+    /// whether it spreads at all.
+    pub attacker_cancellations: usize,
+}
+
+impl AttributionReport {
+    /// Builds the report from a run's event stream.
+    ///
+    /// `attacker` is the link-layer address bits the attacker transmits
+    /// under (the blockage attacker's pseudonym); without it, CBF
+    /// cancellations are treated as legitimate contention.
+    #[must_use]
+    pub fn build(records: &[TraceRecord], attacker: Option<u64>) -> AttributionReport {
+        let mut report = AttributionReport::default();
+        if let Some(attacker) = attacker {
+            report.attacker_cancellations = records
+                .iter()
+                .filter(
+                    |r| matches!(r.event, TraceEvent::CbfCancelled { by, .. } if by == attacker),
+                )
+                .count();
+        }
+        for trace in hop_traces(records).values() {
+            report.total += 1;
+            match trace.fate(attacker) {
+                PacketFate::Delivered => report.delivered += 1,
+                PacketFate::LostToRadio => report.lost_to_radio += 1,
+                PacketFate::LostToHopLimit => report.lost_to_hop_limit += 1,
+                PacketFate::Intercepted { at } => {
+                    *report.intercepted.entry(at).or_default() += 1;
+                }
+                PacketFate::Blocked { by } => {
+                    *report.blocked.entry(by).or_default() += 1;
+                }
+                PacketFate::Dropped { reason } => report.dropped[reason.index()] += 1,
+                PacketFate::Unresolved => report.unresolved += 1,
+            }
+        }
+        report
+    }
+
+    /// Packets that did not make it, for any reason.
+    #[must_use]
+    pub fn lost(&self) -> usize {
+        self.total - self.delivered
+    }
+}
+
+impl fmt::Display for AttributionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "attribution ({} packets traced)", self.total)?;
+        writeln!(f, "  delivered            {:>6}", self.delivered)?;
+        writeln!(f, "  lost-to-radio        {:>6}", self.lost_to_radio)?;
+        writeln!(f, "  lost-to-hop-limit    {:>6}", self.lost_to_hop_limit)?;
+        for (at, n) in &self.intercepted {
+            writeln!(f, "  intercepted-at-{at:#x} {n:>6}")?;
+        }
+        for (by, n) in &self.blocked {
+            writeln!(f, "  blocked-by-{by:#x} {n:>6}")?;
+        }
+        for reason in DropReason::ALL {
+            writeln!(f, "  dropped/{:<12} {:>6}", reason.name(), self.dropped[reason.index()])?;
+        }
+        writeln!(f, "  unresolved           {:>6}", self.unresolved)?;
+        write!(f, "  attacker-cancelled timers (all packets) {:>6}", self.attacker_cancellations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geonet_sim::SimTime;
+
+    fn rec(t: u64, node: u32, event: TraceEvent) -> TraceRecord {
+        TraceRecord { at: SimTime::from_micros(t), node, event }
+    }
+
+    #[test]
+    fn groups_events_per_packet_in_order() {
+        let p1 = PacketRef::new(1, 1);
+        let p2 = PacketRef::new(2, 7);
+        let records = vec![
+            rec(1, 0, TraceEvent::Originated { packet: p1 }),
+            rec(2, 0, TraceEvent::Originated { packet: p2 }),
+            rec(3, 1, TraceEvent::Delivered { packet: p1 }),
+            rec(4, 9, TraceEvent::BeaconAccepted { from: 5 }), // no packet
+        ];
+        let traces = hop_traces(&records);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[&p1].events.len(), 2);
+        assert_eq!(traces[&p2].events.len(), 1);
+        assert!(traces[&p1].events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn delivered_beats_earlier_noise() {
+        let p = PacketRef::new(1, 1);
+        let trace = HopTrace {
+            packet: p,
+            events: vec![
+                rec(1, 0, TraceEvent::Originated { packet: p }),
+                rec(2, 0, TraceEvent::GfNextHop { packet: p, next_hop: 2 }),
+                rec(3, 1, TraceEvent::Delivered { packet: p }),
+            ],
+        };
+        assert_eq!(trace.fate(None), PacketFate::Delivered);
+    }
+
+    #[test]
+    fn wavefront_tail_noise_does_not_override_a_delivery() {
+        let p = PacketRef::new(1, 1);
+        let trace = HopTrace {
+            packet: p,
+            events: vec![
+                rec(1, 0, TraceEvent::Originated { packet: p }),
+                rec(2, 1, TraceEvent::Delivered { packet: p }),
+                rec(3, 2, TraceEvent::CbfFired { packet: p }),
+                rec(4, 3, TraceEvent::Dropped { packet: p, reason: DropReason::RhlExhausted }),
+                rec(5, 4, TraceEvent::FrameLost { packet: Some(p), from: 3 }),
+            ],
+        };
+        assert_eq!(trace.fate(None), PacketFate::Delivered);
+    }
+
+    #[test]
+    fn blockage_attributed_only_to_the_attacker() {
+        let p = PacketRef::new(1, 1);
+        let atk = 0xDEAD;
+        let events = vec![
+            rec(1, 0, TraceEvent::Originated { packet: p }),
+            rec(2, 1, TraceEvent::CbfArmed { packet: p, delay_us: 50_000 }),
+            rec(3, 1, TraceEvent::CbfCancelled { packet: p, by: atk }),
+        ];
+        let trace = HopTrace { packet: p, events };
+        assert_eq!(trace.fate(Some(atk)), PacketFate::Blocked { by: atk });
+        // Without attacker knowledge the cancellation reads as normal
+        // CBF and the trace has no decisive event left.
+        assert_eq!(trace.fate(None), PacketFate::Unresolved);
+        // A different attacker address does not match either.
+        assert_eq!(trace.fate(Some(0xBEEF)), PacketFate::Unresolved);
+    }
+
+    #[test]
+    fn interception_attributed_to_phantom_next_hop() {
+        let p = PacketRef::new(1, 1);
+        let trace = HopTrace {
+            packet: p,
+            events: vec![
+                rec(1, 0, TraceEvent::Originated { packet: p }),
+                rec(2, 0, TraceEvent::GfNextHop { packet: p, next_hop: 0x77 }),
+                rec(3, 0, TraceEvent::FrameTx { packet: Some(p), dst: Some(0x77), beacon: false }),
+                rec(4, 9, TraceEvent::FrameRx { packet: Some(p), from: 1, beacon: false }),
+            ],
+        };
+        assert_eq!(trace.fate(None), PacketFate::Intercepted { at: 0x77 });
+    }
+
+    #[test]
+    fn report_counts_every_drop_reason_even_at_zero() {
+        let report = AttributionReport::build(&[], None);
+        let text = report.to_string();
+        for reason in DropReason::ALL {
+            assert!(text.contains(reason.name()), "report omits {}: {text}", reason.name());
+        }
+    }
+
+    #[test]
+    fn report_classifies_mixed_stream() {
+        let delivered = PacketRef::new(1, 1);
+        let blocked = PacketRef::new(1, 2);
+        let lost = PacketRef::new(2, 1);
+        let exhausted = PacketRef::new(3, 1);
+        let atk = 0xFFFF;
+        let records = vec![
+            rec(1, 0, TraceEvent::Originated { packet: delivered }),
+            rec(2, 1, TraceEvent::Delivered { packet: delivered }),
+            rec(3, 0, TraceEvent::Originated { packet: blocked }),
+            rec(4, 1, TraceEvent::CbfArmed { packet: blocked, delay_us: 1 }),
+            rec(5, 1, TraceEvent::CbfCancelled { packet: blocked, by: atk }),
+            rec(6, 0, TraceEvent::Originated { packet: lost }),
+            rec(7, 2, TraceEvent::FrameLost { packet: Some(lost), from: 2 }),
+            rec(8, 0, TraceEvent::Originated { packet: exhausted }),
+            rec(9, 3, TraceEvent::Dropped { packet: exhausted, reason: DropReason::RhlExhausted }),
+        ];
+        let report = AttributionReport::build(&records, Some(atk));
+        assert_eq!(report.total, 4);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.blocked[&atk], 1);
+        assert_eq!(report.lost_to_radio, 1);
+        assert_eq!(report.lost_to_hop_limit, 1);
+        assert_eq!(report.lost(), 3);
+        assert_eq!(report.attacker_cancellations, 1);
+    }
+}

@@ -109,10 +109,9 @@ pub fn run_case(case: ImpactCase, attacked: bool, duration_s: u64, seed: u64) ->
             w.add_static_node(Position::new(-20.0, 2.5), cfg.v2v_range),
             Area::circle(Position::new(-20.0, 0.0), 40.0),
         ),
-        ImpactCase::CbfNotification => (
-            w.add_static_node(Position::new(2.0, 12.0), cfg.v2v_range),
-            road_area(&cfg),
-        ),
+        ImpactCase::CbfNotification => {
+            (w.add_static_node(Position::new(2.0, 12.0), cfg.v2v_range), road_area(&cfg))
+        }
     };
 
     let mut samples = Vec::with_capacity(duration_s as usize);
@@ -180,12 +179,7 @@ mod tests {
         let informed = s.informed_at_s.expect("CBF notification must arrive");
         assert!(informed <= HAZARD_TIME_S + 3, "informed only at {informed}s");
         // Once informed, the gate is closed: count must not keep growing.
-        let at_informed = s
-            .samples
-            .iter()
-            .find(|&&(t, _)| t == informed)
-            .map(|&(_, n)| n)
-            .unwrap();
+        let at_informed = s.samples.iter().find(|&&(t, _)| t == informed).map(|&(_, n)| n).unwrap();
         assert!(s.final_count() <= at_informed + 3, "count kept growing: {s:?}");
     }
 

@@ -13,23 +13,40 @@ use crate::report::AbResult;
 use crate::world::World;
 use geonet_geo::{Area, Position};
 use geonet_radio::{AccessTechnology, NodeId, RangeProfile};
-use geonet_sim::{SimDuration, SimTime, TimeBins};
+use geonet_sim::{SharedSink, SimDuration, SimTime, TimeBins};
 
 /// Runs one seeded simulation and returns the per-bin reception counts of
 /// vulnerable packets at the destinations.
 #[must_use]
 pub fn run_one(cfg: &ScenarioConfig, attacked: bool, seed: u64) -> TimeBins {
-    run_one_with_load(cfg, attacked, seed).0
+    run_one_inner(cfg, attacked, seed, None).0
+}
+
+/// Like [`run_one`], with every node's [`geonet_sim::TraceEvent`]s routed
+/// to `sink` — the input of the [`crate::forensics`] reconstruction.
+#[must_use]
+pub fn run_one_traced(
+    cfg: &ScenarioConfig,
+    attacked: bool,
+    seed: u64,
+    sink: SharedSink,
+) -> TimeBins {
+    run_one_inner(cfg, attacked, seed, Some(sink)).0
 }
 
 /// Like [`run_one`], additionally returning the channel load of the run:
 /// `(bins, frames on air, bytes on air)`. Used by the ACK-overhead
 /// extension analysis.
 #[must_use]
-pub fn run_one_with_load(
+pub fn run_one_with_load(cfg: &ScenarioConfig, attacked: bool, seed: u64) -> (TimeBins, u64, u64) {
+    run_one_inner(cfg, attacked, seed, None)
+}
+
+fn run_one_inner(
     cfg: &ScenarioConfig,
     attacked: bool,
     seed: u64,
+    sink: Option<SharedSink>,
 ) -> (TimeBins, u64, u64) {
     let duration_s = cfg.duration.as_secs();
     let mut bins = TimeBins::new(
@@ -37,6 +54,9 @@ pub fn run_one_with_load(
         usize::try_from(duration_s.div_ceil(5)).expect("bin count fits"),
     );
     let mut w = World::new(*cfg, attacked.then_some(AttackerSetup::InterArea), seed);
+    if let Some(sink) = sink {
+        w.set_trace_sink(sink);
+    }
     let length = cfg.road.length;
     // Static destinations 20 m beyond each end (paper §IV-A), with small
     // circular destination areas around them.
@@ -99,11 +119,7 @@ pub fn run_ab(cfg: &ScenarioConfig, label: &str, scale: Scale, base_seed: u64) -
 
 /// The attack-range labels used throughout the paper's figures.
 fn range_settings(profile: RangeProfile) -> [(&'static str, f64); 3] {
-    [
-        ("mL", profile.los_median()),
-        ("mN", profile.nlos_median()),
-        ("wN", profile.nlos_worst()),
-    ]
+    [("mL", profile.los_median()), ("mN", profile.nlos_median()), ("wN", profile.nlos_worst())]
 }
 
 /// Figure 7a: interception vs attack range, DSRC.
@@ -238,8 +254,7 @@ mod tests {
 
     #[test]
     fn baseline_delivers_some_packets() {
-        let cfg = ScenarioConfig::paper_dsrc_default()
-            .with_duration(SimDuration::from_secs(40));
+        let cfg = ScenarioConfig::paper_dsrc_default().with_duration(SimDuration::from_secs(40));
         let bins = run_one(&cfg, false, 11);
         let rate = bins.overall_rate().expect("packets were generated");
         assert!(rate > 0.3, "attacker-free reception too low: {rate:.2}");

@@ -14,7 +14,7 @@ use geonet::PacketKey;
 use geonet_attack::BlockageMode;
 use geonet_geo::{Area, Position};
 use geonet_radio::{AccessTechnology, NodeId, RangeProfile};
-use geonet_sim::{SimDuration, SimTime, TimeBins};
+use geonet_sim::{SharedSink, SimDuration, SimTime, TimeBins};
 
 /// The GeoBroadcast destination area covering the whole road segment
 /// (both directions' lanes).
@@ -58,12 +58,32 @@ impl PacketOutcome {
 /// packet.
 #[must_use]
 pub fn run_one(cfg: &ScenarioConfig, attacked: bool, seed: u64) -> Vec<PacketOutcome> {
+    run_one_inner(cfg, attacked, seed, None)
+}
+
+/// Like [`run_one`], with every node's [`geonet_sim::TraceEvent`]s routed
+/// to `sink` — the input of the [`crate::forensics`] reconstruction.
+#[must_use]
+pub fn run_one_traced(
+    cfg: &ScenarioConfig,
+    attacked: bool,
+    seed: u64,
+    sink: SharedSink,
+) -> Vec<PacketOutcome> {
+    run_one_inner(cfg, attacked, seed, Some(sink))
+}
+
+fn run_one_inner(
+    cfg: &ScenarioConfig,
+    attacked: bool,
+    seed: u64,
+    sink: Option<SharedSink>,
+) -> Vec<PacketOutcome> {
     let mode = BlockageMode::ClampRhl;
-    let mut w = World::new(
-        *cfg,
-        attacked.then_some(AttackerSetup::IntraArea(mode)),
-        seed,
-    );
+    let mut w = World::new(*cfg, attacked.then_some(AttackerSetup::IntraArea(mode)), seed);
+    if let Some(sink) = sink {
+        w.set_trace_sink(sink);
+    }
     let area = road_area(cfg);
     let duration_s = cfg.duration.as_secs();
     let mut generated: Vec<(PacketKey, SimTime, f64, Vec<NodeId>)> = Vec::new();
@@ -80,16 +100,8 @@ pub fn run_one(cfg: &ScenarioConfig, attacked: bool, seed: u64) -> Vec<PacketOut
     generated
         .into_iter()
         .map(|(key, generated_at, source_x, snapshot)| {
-            let received = snapshot
-                .iter()
-                .filter(|n| w.was_received(key, **n))
-                .count() as u64;
-            PacketOutcome {
-                generated_at,
-                source_x,
-                candidates: snapshot.len() as u64,
-                received,
-            }
+            let received = snapshot.iter().filter(|n| w.was_received(key, **n)).count() as u64;
+            PacketOutcome { generated_at, source_x, candidates: snapshot.len() as u64, received }
         })
         .collect()
 }
@@ -110,8 +122,7 @@ pub fn outcomes_to_bins(outcomes: &[PacketOutcome], duration: SimDuration) -> Ti
 #[must_use]
 pub fn run_ab(cfg: &ScenarioConfig, label: &str, scale: Scale, base_seed: u64) -> AbResult {
     let cfg = cfg.with_duration(scale.duration());
-    let bin_count =
-        usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
+    let bin_count = usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
     let mut baseline = TimeBins::new(SimDuration::from_secs(5), bin_count);
     let mut attacked = TimeBins::new(SimDuration::from_secs(5), bin_count);
     for i in 0..scale.runs {
@@ -203,17 +214,14 @@ pub fn fig9_source_split(scale: Scale, seed: u64) -> (AbResult, AbResult) {
     let half = cfg.attack_range - cfg.v2v_range; // 14 m ⇒ 28 m zone
     let lo = cfg.attacker_position.x - half;
     let hi = cfg.attacker_position.x + half;
-    let bin_count =
-        usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
+    let bin_count = usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
     let mut result = Vec::new();
     for inside in [true, false] {
         let mut baseline = TimeBins::new(SimDuration::from_secs(5), bin_count);
         let mut attacked = TimeBins::new(SimDuration::from_secs(5), bin_count);
         for i in 0..scale.runs {
             let run_seed = seed.wrapping_add(u64::from(i) * 0x517C);
-            for (is_attack, bins) in
-                [(false, &mut baseline), (true, &mut attacked)]
-            {
+            for (is_attack, bins) in [(false, &mut baseline), (true, &mut attacked)] {
                 let outcomes = run_one(&cfg, is_attack, run_seed);
                 let filtered: Vec<PacketOutcome> = outcomes
                     .into_iter()
@@ -262,8 +270,7 @@ mod tests {
 
     #[test]
     fn baseline_cbf_reaches_almost_everyone() {
-        let cfg = ScenarioConfig::paper_dsrc_default()
-            .with_duration(SimDuration::from_secs(30));
+        let cfg = ScenarioConfig::paper_dsrc_default().with_duration(SimDuration::from_secs(30));
         let outcomes = run_one(&cfg, false, 3);
         assert!(!outcomes.is_empty());
         let bins = outcomes_to_bins(&outcomes, cfg.duration);

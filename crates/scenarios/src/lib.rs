@@ -38,6 +38,7 @@
 pub mod analysis;
 pub mod config;
 pub mod extensions;
+pub mod forensics;
 pub mod impact;
 pub mod interarea;
 pub mod intraarea;

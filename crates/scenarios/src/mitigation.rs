@@ -63,8 +63,7 @@ impl std::fmt::Display for MitigationResult {
 
 fn merged_interarea(cfg: &ScenarioConfig, attacked: bool, scale: Scale, seed: u64) -> TimeBins {
     let cfg = cfg.with_duration(scale.duration());
-    let bin_count =
-        usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
+    let bin_count = usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
     let mut bins = TimeBins::new(SimDuration::from_secs(5), bin_count);
     for i in 0..scale.runs {
         let s = seed.wrapping_add(u64::from(i) * 0x9E37);
@@ -79,14 +78,11 @@ fn merged_interarea(cfg: &ScenarioConfig, attacked: bool, scale: Scale, seed: u6
 pub fn fig14a(scale: Scale, seed: u64) -> Vec<MitigationResult> {
     let base = ScenarioConfig::paper_dsrc_default();
     let profile = base.profile();
-    let checked =
-        base.with_mitigations(MitigationConfig::plausibility(base.v2v_range));
+    let checked = base.with_mitigations(MitigationConfig::plausibility(base.v2v_range));
     let mut out = Vec::new();
-    for (label, range) in [
-        ("wN", profile.nlos_worst()),
-        ("mN", profile.nlos_median()),
-        ("mL", profile.los_median()),
-    ] {
+    for (label, range) in
+        [("wN", profile.nlos_worst()), ("mN", profile.nlos_median()), ("mL", profile.los_median())]
+    {
         out.push(MitigationResult {
             label: label.to_string(),
             unmitigated: merged_interarea(&base.with_attack_range(range), true, scale, seed),
@@ -166,8 +162,7 @@ mod tests {
         // attacked reception substantially.
         let scale = Scale { runs: 1, duration_s: 40 };
         let base = ScenarioConfig::paper_dsrc_default().with_attack_range(486.0);
-        let checked =
-            base.with_mitigations(MitigationConfig::plausibility(base.v2v_range));
+        let checked = base.with_mitigations(MitigationConfig::plausibility(base.v2v_range));
         let r = MitigationResult {
             label: "mN".into(),
             unmitigated: merged_interarea(&base, true, scale, 31),
@@ -191,10 +186,7 @@ mod tests {
             unmitigated: run(&base),
             mitigated: run(&checked),
         };
-        assert!(
-            r.mitigated_rate().unwrap() > 0.9,
-            "RHL check did not restore the flood: {r}"
-        );
+        assert!(r.mitigated_rate().unwrap() > 0.9, "RHL check did not restore the flood: {r}");
         assert!(r.improvement().unwrap() > 0.1, "{r}");
     }
 

@@ -93,12 +93,7 @@ impl ExperimentRow {
         paper: Option<f64>,
         measured: Option<f64>,
     ) -> Self {
-        ExperimentRow {
-            experiment: experiment.into(),
-            setting: setting.into(),
-            paper,
-            measured,
-        }
+        ExperimentRow { experiment: experiment.into(), setting: setting.into(), paper, measured }
     }
 }
 
@@ -181,11 +176,7 @@ mod tests {
 
     #[test]
     fn gamma_is_mean_bin_drop() {
-        let r = AbResult {
-            label: "t".into(),
-            baseline: bins(10, 10),
-            attacked: bins(4, 10),
-        };
+        let r = AbResult { label: "t".into(), baseline: bins(10, 10), attacked: bins(4, 10) };
         assert!((r.gamma().unwrap() - 0.6).abs() < 1e-9);
         assert_eq!(r.baseline_rate(), Some(1.0));
         assert_eq!(r.attacked_rate(), Some(0.4));
@@ -193,11 +184,7 @@ mod tests {
 
     #[test]
     fn accumulated_series_has_bin_count_entries() {
-        let r = AbResult {
-            label: "t".into(),
-            baseline: bins(10, 10),
-            attacked: bins(5, 10),
-        };
+        let r = AbResult { label: "t".into(), baseline: bins(10, 10), attacked: bins(5, 10) };
         let s = r.accumulated_drop_series();
         assert_eq!(s.len(), 4);
         assert!(s.iter().all(|x| (x.unwrap() - 0.5).abs() < 1e-9));
@@ -205,11 +192,7 @@ mod tests {
 
     #[test]
     fn display_formats_percentages() {
-        let r = AbResult {
-            label: "DSRC wN".into(),
-            baseline: bins(10, 10),
-            attacked: bins(4, 10),
-        };
+        let r = AbResult { label: "DSRC wN".into(), baseline: bins(10, 10), attacked: bins(4, 10) };
         let s = r.to_string();
         assert!(s.contains("af=100.0%"), "{s}");
         assert!(s.contains("drop= 60.0%"), "{s}");

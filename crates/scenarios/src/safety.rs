@@ -18,9 +18,7 @@
 //! both comfort-braking at 2 m/s², warned deceleration 4 m/s², emergency
 //! braking 6 m/s² once the drivers see each other across the curve.
 
-use geonet::{
-    CertificateAuthority, Frame, GnAddress, GnConfig, GnRouter, RouterAction,
-};
+use geonet::{CertificateAuthority, Frame, GnAddress, GnConfig, GnRouter, RouterAction};
 use geonet_attack::{BlockageMode, IntraAreaAttacker};
 use geonet_geo::{Area, GeoReference, Heading, Position};
 use geonet_radio::Medium;
@@ -169,7 +167,7 @@ pub fn run(cfg: &SafetyConfig, attacked: bool) -> SafetyOutcome {
                 Ev::Deliver { to, frame } => {
                     if Some(to) == attacker_node {
                         if let Some(atk) = attacker.as_mut() {
-                            if let Some(order) = atk.on_sniff(&frame) {
+                            if let Some(order) = atk.on_sniff(&frame, now) {
                                 kernel.schedule_in(
                                     order.delay,
                                     Ev::AttackerTx { frame: order.frame, cap: order.range_cap },
@@ -196,7 +194,8 @@ pub fn run(cfg: &SafetyConfig, attacked: bool) -> SafetyOutcome {
                                 }
                             }
                             RouterAction::CbfTimer { key, generation, delay } => {
-                                kernel.schedule_in(delay, Ev::CbfTimer { node: to, key, generation });
+                                kernel
+                                    .schedule_in(delay, Ev::CbfTimer { node: to, key, generation });
                             }
                             RouterAction::GfRetry { .. } => {
                                 // The curve scenario broadcasts within the
@@ -238,8 +237,14 @@ pub fn run(cfg: &SafetyConfig, attacked: bool) -> SafetyOutcome {
             let rt = SimTime::from_secs_f64(t);
             // Scheduling into the kernel requires now >= kernel.now; feed
             // the kernel a no-op time advance by scheduling at `rt`.
-            let (_, actions) =
-                routers[v1_node.index()].originate(&warn_area, vec![0x7A], rt, pos, v1, Heading::EAST);
+            let (_, actions) = routers[v1_node.index()].originate(
+                &warn_area,
+                vec![0x7A],
+                rt,
+                pos,
+                v1,
+                Heading::EAST,
+            );
             for a in actions {
                 if let RouterAction::Transmit(f) = a {
                     for rx in medium.receivers(v1_node) {
@@ -380,10 +385,7 @@ mod tests {
         let results = sight_distance_sweep(&[5.0, 10.0, 120.0]);
         assert!(results[0].1, "5 m of sight cannot prevent the collision");
         assert!(results[1].1, "10 m of sight cannot prevent the collision");
-        assert!(
-            !results[2].1,
-            "120 m of sight gives emergency braking room to stop"
-        );
+        assert!(!results[2].1, "120 m of sight gives emergency braking room to stop");
     }
 
     #[test]

@@ -1,13 +1,11 @@
 //! The deterministic discrete-event world binding all substrates.
 
 use crate::config::{AttackerSetup, ScenarioConfig};
-use geonet::{
-    CertificateAuthority, Frame, GnAddress, GnRouter, PacketKey, RouterAction,
-};
+use geonet::{CertificateAuthority, Frame, GnAddress, GnRouter, PacketKey, RouterAction};
 use geonet_attack::{InterAreaAttacker, IntraAreaAttacker};
 use geonet_geo::{Area, GeoReference, Heading, Position};
 use geonet_radio::{Medium, NodeId};
-use geonet_sim::{Kernel, SimDuration, SimRng, SimTime};
+use geonet_sim::{Kernel, PacketRef, SharedSink, SimDuration, SimRng, SimTime, TraceEvent, Tracer};
 use geonet_traffic::{Direction, TrafficSim, VehicleId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -73,6 +71,7 @@ pub struct World {
     unicasts_lost: u64,
     frames_on_air: u64,
     bytes_on_air: u64,
+    tracer: Tracer,
 }
 
 impl World {
@@ -110,11 +109,11 @@ impl World {
             unicasts_lost: 0,
             frames_on_air: 0,
             bytes_on_air: 0,
+            tracer: Tracer::disabled(),
             cfg,
         };
         // Register the pre-filled vehicles.
-        let initial: Vec<VehicleId> =
-            world.traffic.active_vehicles().map(|v| v.id).collect();
+        let initial: Vec<VehicleId> = world.traffic.active_vehicles().map(|v| v.id).collect();
         for vid in initial {
             world.register_vehicle(vid);
         }
@@ -127,8 +126,7 @@ impl World {
             world.attacker_node = Some(node);
             match setup {
                 AttackerSetup::InterArea => {
-                    world.inter_attacker =
-                        Some(InterAreaAttacker::new(cfg.attacker_position));
+                    world.inter_attacker = Some(InterAreaAttacker::new(cfg.attacker_position));
                 }
                 AttackerSetup::IntraArea(mode) => {
                     world.intra_attacker =
@@ -137,9 +135,7 @@ impl World {
             }
         }
         // Start the clocks.
-        world
-            .kernel
-            .schedule_at(SimTime::from_secs_f64(cfg.traffic_dt), Ev::TrafficStep);
+        world.kernel.schedule_at(SimTime::from_secs_f64(cfg.traffic_dt), Ev::TrafficStep);
         world
     }
 
@@ -149,18 +145,15 @@ impl World {
         debug_assert_eq!(self.routers.len(), node.index());
         let addr = GnAddress::vehicle(0x1000_0000 + u64::from(vid.0));
         self.addr_index.insert(addr, node);
-        self.routers.push(Some(GnRouter::new(
-            self.ca.enroll(addr),
-            self.ca.verifier(),
-            self.cfg.gn,
-            self.reference,
-        )));
+        let mut router =
+            GnRouter::new(self.ca.enroll(addr), self.ca.verifier(), self.cfg.gn, self.reference);
+        router.set_tracer(self.tracer.for_node(node.0));
+        self.routers.push(Some(router));
         self.kinds.push(NodeKind::Vehicle(vid));
         let mut rng = self.root_rng.split(0x1000 + u64::from(node.0));
         // Desynchronised first beacon within one period.
-        let offset = SimDuration::from_secs_f64(
-            rng.uniform(0.0, self.cfg.gn.beacon_interval.as_secs_f64()),
-        );
+        let offset =
+            SimDuration::from_secs_f64(rng.uniform(0.0, self.cfg.gn.beacon_interval.as_secs_f64()));
         self.rngs.push(rng);
         self.vehicle_nodes.push(node);
         debug_assert_eq!(self.vehicle_nodes.len() - 1, vid.index());
@@ -174,20 +167,56 @@ impl World {
         let addr = GnAddress::roadside(self.next_static_mid);
         self.next_static_mid += 1;
         self.addr_index.insert(addr, node);
-        self.routers.push(Some(GnRouter::new(
-            self.ca.enroll(addr),
-            self.ca.verifier(),
-            self.cfg.gn,
-            self.reference,
-        )));
+        let mut router =
+            GnRouter::new(self.ca.enroll(addr), self.ca.verifier(), self.cfg.gn, self.reference);
+        router.set_tracer(self.tracer.for_node(node.0));
+        self.routers.push(Some(router));
         self.kinds.push(NodeKind::Static);
         let mut rng = self.root_rng.split(0x2000 + u64::from(node.0));
-        let offset = SimDuration::from_secs_f64(
-            rng.uniform(0.0, self.cfg.gn.beacon_interval.as_secs_f64()),
-        );
+        let offset =
+            SimDuration::from_secs_f64(rng.uniform(0.0, self.cfg.gn.beacon_interval.as_secs_f64()));
         self.rngs.push(rng);
         self.kernel.schedule_in(offset, Ev::Beacon(node));
         node
+    }
+
+    /// Attaches a trace sink; every node (router, attacker, traffic
+    /// simulation, and the radio layer itself) starts emitting
+    /// [`TraceEvent`]s through it. Call right after [`World::new`] —
+    /// events from before the attach are not replayed.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.tracer = Tracer::attached(sink);
+        for (i, router) in self.routers.iter_mut().enumerate() {
+            if let Some(r) = router {
+                r.set_tracer(self.tracer.for_node(i as u32));
+            }
+        }
+        if let Some(atk) = self.attacker_node {
+            if let Some(a) = &mut self.inter_attacker {
+                a.set_tracer(self.tracer.for_node(atk.0));
+            }
+            if let Some(a) = &mut self.intra_attacker {
+                a.set_tracer(self.tracer.for_node(atk.0));
+            }
+        }
+        self.traffic.set_tracer(self.tracer.clone());
+    }
+
+    fn packet_ref(key: PacketKey) -> PacketRef {
+        PacketRef::new(key.source.to_u64(), key.sn.0)
+    }
+
+    /// The link-layer address bits the attacker transmits under, if an
+    /// attacker is mounted: the blockage attacker's pseudonym, or the
+    /// replayed beacons' original sources for the interception attacker
+    /// (which never transmits under its own name — `None`).
+    ///
+    /// Feed this to
+    /// [`AttributionReport::build`](crate::forensics::AttributionReport::build)
+    /// to attribute CBF cancellations to the attacker.
+    #[must_use]
+    pub fn attacker_address(&self) -> Option<u64> {
+        self.intra_attacker.as_ref().map(|a| a.pseudonym().to_u64())
     }
 
     /// The scenario configuration.
@@ -269,10 +298,7 @@ impl World {
     /// Nodes (IDs) of vehicles currently on the road segment proper.
     #[must_use]
     pub fn on_road_nodes(&self) -> Vec<NodeId> {
-        self.traffic
-            .on_segment_vehicles()
-            .map(|v| self.vehicle_nodes[v.id.index()])
-            .collect()
+        self.traffic.on_segment_vehicles().map(|v| self.vehicle_nodes[v.id.index()]).collect()
     }
 
     /// Sums the router statistics over every legitimate node (including
@@ -446,8 +472,7 @@ impl World {
                 }
                 let now = self.kernel.now();
                 let position = self.medium.position(node);
-                let router =
-                    self.routers[node.index()].as_mut().expect("retries on routers");
+                let router = self.routers[node.index()].as_mut().expect("retries on routers");
                 let actions = router.handle_gf_retry(key, position, now);
                 self.execute(node, actions);
             }
@@ -457,8 +482,7 @@ impl World {
                 }
                 let now = self.kernel.now();
                 let position = self.medium.position(node);
-                let router =
-                    self.routers[node.index()].as_mut().expect("ack timers on routers");
+                let router = self.routers[node.index()].as_mut().expect("ack timers on routers");
                 let actions = router.handle_ack_failure(key, position, now);
                 self.execute(node, actions);
             }
@@ -497,8 +521,7 @@ impl World {
                 }
             }
         }
-        self.kernel
-            .schedule_in(SimDuration::from_secs_f64(self.cfg.traffic_dt), Ev::TrafficStep);
+        self.kernel.schedule_in(SimDuration::from_secs_f64(self.cfg.traffic_dt), Ev::TrafficStep);
     }
 
     fn on_beacon(&mut self, node: NodeId) {
@@ -522,10 +545,17 @@ impl World {
     }
 
     fn on_deliver(&mut self, to: NodeId, frame: Frame) {
+        let now = self.kernel.now();
         if Some(to) == self.attacker_node {
+            let key = PacketKey::of(&frame.msg);
+            self.tracer.for_node(to.0).emit(now, || TraceEvent::FrameRx {
+                packet: key.map(World::packet_ref),
+                from: frame.src.to_u64(),
+                beacon: key.is_none(),
+            });
             let order = match (&mut self.inter_attacker, &mut self.intra_attacker) {
-                (Some(a), _) => a.on_sniff(&frame),
-                (_, Some(a)) => a.on_sniff(&frame),
+                (Some(a), _) => a.on_sniff(&frame, now),
+                (_, Some(a)) => a.on_sniff(&frame, now),
                 (None, None) => None,
             };
             if let Some(order) = order {
@@ -539,7 +569,12 @@ impl World {
         if !self.medium.is_active(to) {
             return;
         }
-        let now = self.kernel.now();
+        let key = PacketKey::of(&frame.msg);
+        self.tracer.for_node(to.0).emit(now, || TraceEvent::FrameRx {
+            packet: key.map(World::packet_ref),
+            from: frame.src.to_u64(),
+            beacon: key.is_none(),
+        });
         let position = self.medium.position(to);
         let router = self.routers[to.index()].as_mut().expect("legitimate node");
         let actions = router.handle_frame(&frame, position, now);
@@ -588,36 +623,28 @@ impl World {
                 }
             }
         }
-        // Hop-by-hop tracing for debugging forwarding paths: set
-        // GEONET_TRACE=1 to log every GeoBroadcast transmission.
-        if std::env::var_os("GEONET_TRACE").is_some() {
-            if let Some(k) = geonet::PacketKey::of(&frame.msg) {
-                let dst_node = frame.dst.and_then(|d| self.addr_index.get(&d).copied());
-                eprintln!(
-                    "TX {} {k} from={from}@{:.0} dst={:?}@{:.0} rhl={}",
-                    self.kernel.now(),
-                    self.medium.position(from).x,
-                    frame.dst.map(|d| d.to_string()),
-                    dst_node.map_or(f64::NAN, |n| self.medium.position(n).x),
-                    frame.msg.rhl(),
-                );
-            }
-        }
+        let now = self.kernel.now();
+        let key = PacketKey::of(&frame.msg);
+        self.tracer.for_node(from.0).emit(now, || TraceEvent::FrameTx {
+            packet: key.map(World::packet_ref),
+            dst: frame.dst.map(GnAddress::to_u64),
+            beacon: key.is_none(),
+        });
         // Frame-loss extension: each individual delivery may be lost.
         let mut delivered: Vec<NodeId> = Vec::with_capacity(receivers.len());
         for rx in receivers {
-            if self.cfg.frame_loss_rate > 0.0 && self.loss_rng.chance(self.cfg.frame_loss_rate)
-            {
+            if self.cfg.frame_loss_rate > 0.0 && self.loss_rng.chance(self.cfg.frame_loss_rate) {
+                self.tracer.for_node(rx.0).emit(now, || TraceEvent::FrameLost {
+                    packet: key.map(World::packet_ref),
+                    from: frame.src.to_u64(),
+                });
                 continue;
             }
             delivered.push(rx);
         }
         if let Some(dst) = frame.dst {
             self.unicasts_sent += 1;
-            let reached = self
-                .addr_index
-                .get(&dst)
-                .is_some_and(|n| delivered.contains(n));
+            let reached = self.addr_index.get(&dst).is_some_and(|n| delivered.contains(n));
             if !reached {
                 self.unicasts_lost += 1;
             }
@@ -726,8 +753,7 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_history() {
         let run = |seed| {
-            let mut w =
-                World::new(short_cfg(), Some(AttackerSetup::InterArea), seed);
+            let mut w = World::new(short_cfg(), Some(AttackerSetup::InterArea), seed);
             w.run_until(SimTime::from_secs(6));
             let src = w.random_on_road_vehicle().unwrap();
             let key = w.originate_from(
@@ -758,10 +784,7 @@ mod tests {
             .find(|&n| w.node_position(n).x > 3_700.0)
             .expect("vehicle near east end");
         assert!(
-            w.router(near)
-                .loct()
-                .get(w.router(dest).addr(), w.now())
-                .is_some(),
+            w.router(near).loct().get(w.router(dest).addr(), w.now()).is_some(),
             "destination beacon not heard"
         );
     }
@@ -778,17 +801,11 @@ mod tests {
     fn exited_vehicles_go_silent() {
         // Vehicles clear the 600 m off-road margin ≈ 20 s after passing
         // the 4 km mark; use a horizon long enough for that.
-        let cfg = ScenarioConfig::paper_dsrc_default()
-            .with_duration(SimDuration::from_secs(40));
+        let cfg = ScenarioConfig::paper_dsrc_default().with_duration(SimDuration::from_secs(40));
         let mut w = World::new(cfg, None, 6);
         w.run_until(SimTime::from_secs(35));
-        let exited: Vec<VehicleId> = w
-            .traffic()
-            .all_vehicles()
-            .iter()
-            .filter(|v| v.exited)
-            .map(|v| v.id)
-            .collect();
+        let exited: Vec<VehicleId> =
+            w.traffic().all_vehicles().iter().filter(|v| v.exited).map(|v| v.id).collect();
         assert!(!exited.is_empty(), "nobody exited in 35 s");
         for vid in exited {
             let node = w.vehicle_node(vid);
@@ -823,8 +840,10 @@ mod tests {
         cfg.gn = cfg.gn.with_link_ack(geonet::config::LinkAckConfig::default());
         let mut w = World::new(cfg, Some(AttackerSetup::InterArea), 7);
         w.run_until(SimTime::from_secs(6));
-        // Generate a few packets whose first choice is poisoned.
-        for _ in 0..5 {
+        // Keep originating packets (whose first choice may be poisoned)
+        // until one of them needs an ack retry; how soon that happens
+        // depends on which random senders sit near the phantom entry.
+        for t in 7..=19 {
             if let Some(vid) = w.random_on_road_vehicle() {
                 let node = w.vehicle_node(vid);
                 let _ = w.originate_from(
@@ -833,8 +852,11 @@ mod tests {
                     vec![1],
                 );
             }
+            w.run_until(SimTime::from_secs(t));
+            if w.aggregate_stats().gf_ack_retries > 0 {
+                break;
+            }
         }
-        w.run_until(SimTime::from_secs(12));
         let agg = w.aggregate_stats();
         assert!(agg.gf_ack_retries > 0, "no retries despite poisoning: {agg:?}");
     }

@@ -1,0 +1,124 @@
+//! Integration tests of the tracing + forensics chain: events emitted by
+//! real routers and attackers, serialised through `JsonlSink`, parsed
+//! back, reconstructed into hop traces and attributed.
+
+use geonet::{CertificateAuthority, GnAddress, GnConfig, GnRouter, RouterAction};
+use geonet_attack::{BlockageMode, IntraAreaAttacker};
+use geonet_geo::{Area, GeoReference, Heading, Position};
+use geonet_scenarios::forensics::{hop_traces, AttributionReport, PacketFate};
+use geonet_scenarios::{interarea, ScenarioConfig};
+use geonet_sim::{
+    shared, JsonlSink, PacketRef, SimDuration, SimTime, TraceEvent, TraceRecord, Tracer, VecSink,
+};
+
+fn router(ca: &CertificateAuthority, addr: u64, tracer: Tracer) -> GnRouter {
+    let mut r = GnRouter::new(
+        ca.enroll(GnAddress::vehicle(addr)),
+        ca.verifier(),
+        GnConfig::paper_default(1_283.0),
+        GeoReference::default(),
+    );
+    r.set_tracer(tracer);
+    r
+}
+
+/// The acceptance scenario: a blockage-attack run recorded through a
+/// `JsonlSink` yields a hop trace for the suppressed packet whose final
+/// event is a CBF-timer cancellation attributed to the attacker's
+/// duplicate.
+#[test]
+fn blockage_run_traced_through_jsonl_attributes_the_suppression() {
+    let ca = CertificateAuthority::new(7);
+    let sink = shared(JsonlSink::new(Vec::<u8>::new()));
+    let root = Tracer::attached(sink.clone());
+
+    // v1 at x=1000 originates a GeoBroadcast across the road; v2 at
+    // x=1400 is in the area and arms a contention timer; the attacker
+    // sniffs the first copy and replays it RHL-clamped, cancelling v2's
+    // timer — the packet never spreads past v2.
+    let t0 = SimTime::from_secs(1);
+    let mut v1 = router(&ca, 1, root.for_node(1));
+    let mut v2 = router(&ca, 2, root.for_node(2));
+    let mut atk = IntraAreaAttacker::new(Position::new(1_400.0, -10.0), BlockageMode::ClampRhl);
+    atk.set_tracer(root.for_node(99));
+
+    let area = Area::rectangle(Position::new(2_000.0, 0.0), 2_050.0, 25.0, 90.0);
+    let (key, actions) =
+        v1.originate(&area, vec![0xCB], t0, Position::new(1_000.0, 2.5), 30.0, Heading::EAST);
+    let RouterAction::Transmit(frame) = &actions[0] else { panic!("originate transmits") };
+
+    // First copy reaches v2 (timer armed) and the attacker's sniffer.
+    v2.handle_frame(frame, Position::new(1_400.0, 2.5), t0);
+    let order = atk.on_sniff(frame, t0).expect("GBC packets are replayed");
+    // The clamped duplicate arrives at v2 before its timer fires.
+    v2.handle_frame(&order.frame, Position::new(1_400.0, 2.5), t0 + order.delay);
+    assert_eq!(v2.stats().cbf_discards, 1, "the duplicate cancelled the timer");
+
+    // Round-trip: the run's evidence is JSON Lines on disk.
+    drop((v1, v2, atk, root));
+    let bytes = std::rc::Rc::try_unwrap(sink)
+        .expect("all tracer handles dropped")
+        .into_inner()
+        .into_inner()
+        .expect("flush");
+    let text = String::from_utf8(bytes).expect("utf-8");
+    let records: Vec<TraceRecord> =
+        text.lines().map(|l| TraceRecord::from_json(l).expect("parseable line")).collect();
+    assert!(!records.is_empty());
+
+    // The suppressed packet's hop trace ends in the cancellation, and
+    // the cancellation names the attacker's pseudonym.
+    let packet = PacketRef::new(key.source.to_u64(), key.sn.0);
+    let traces = hop_traces(&records);
+    let trace = &traces[&packet];
+    let pseudonym = IntraAreaAttacker::DEFAULT_PSEUDONYM.to_u64();
+    match trace.final_event().expect("non-empty trace").event {
+        TraceEvent::CbfCancelled { packet: p, by } => {
+            assert_eq!(p, packet);
+            assert_eq!(by, pseudonym, "cancellation attributed to the attacker");
+        }
+        ref other => panic!("final event is {other:?}, not the cancellation"),
+    }
+    assert_eq!(trace.fate(Some(pseudonym)), PacketFate::Blocked { by: pseudonym });
+
+    // And the per-run report counts it the same way.
+    let report = AttributionReport::build(&records, Some(pseudonym));
+    assert_eq!(report.blocked.get(&pseudonym), Some(&1));
+    assert_eq!(report.delivered, 0);
+    assert_eq!(report.attacker_cancellations, 1);
+}
+
+/// A full attacked inter-area world run: the attribution report pins the
+/// losses on greedy forwards into phantom next hops, not on the radio.
+#[test]
+fn interception_world_run_attributes_losses_to_phantom_next_hops() {
+    let cfg = ScenarioConfig::paper_dsrc_default()
+        .with_attack_range(486.0)
+        .with_duration(SimDuration::from_secs(20));
+    let sink = shared(VecSink::new());
+    let bins = interarea::run_one_traced(&cfg, true, 42, sink.clone());
+    let records = sink.borrow().records().to_vec();
+    assert!(!records.is_empty());
+
+    // The mN attacker intercepts essentially everything (paper γ≈1.0).
+    let rate = bins.overall_rate().unwrap_or(0.0);
+    assert!(rate < 0.5, "attacked reception rate {rate}");
+
+    let report = AttributionReport::build(&records, None);
+    assert!(report.total > 0, "vulnerable packets were traced");
+    let intercepted: usize = report.intercepted.values().sum();
+    assert!(intercepted > 0, "interception shows up as phantom-next-hop fates: {report}");
+    // The interception attack leaves the radio blameless: losses are
+    // routing decisions, not frame loss (the default channel is
+    // lossless).
+    assert_eq!(report.lost_to_radio, 0, "{report}");
+    // Consistency: every traced packet lands in exactly one bucket.
+    let buckets = report.delivered
+        + report.lost_to_radio
+        + report.lost_to_hop_limit
+        + intercepted
+        + report.blocked.values().sum::<usize>()
+        + report.dropped.iter().sum::<usize>()
+        + report.unresolved;
+    assert_eq!(buckets, report.total);
+}

@@ -49,7 +49,12 @@ impl<E> Kernel<E> {
     /// exceed the horizon. The paper's runs use a 200 s horizon.
     #[must_use]
     pub fn with_horizon(horizon: SimTime) -> Self {
-        Kernel { queue: EventQueue::new(), now: SimTime::ZERO, horizon: Some(horizon), processed: 0 }
+        Kernel {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: Some(horizon),
+            processed: 0,
+        }
     }
 
     /// The current simulation time (the timestamp of the last popped

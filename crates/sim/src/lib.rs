@@ -38,9 +38,14 @@ pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod time;
+pub mod trace;
 
 pub use kernel::Kernel;
 pub use metrics::{AbComparison, RunningStats, TimeBins};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    shared, AttackKind, CountingSink, DropReason, EventCounters, JsonlSink, NullSink, PacketRef,
+    SharedSink, TraceEvent, TraceRecord, TraceSink, Tracer, VecSink,
+};

@@ -107,8 +107,7 @@ impl IdmParams {
     /// Acceleration on a free road (no leader).
     #[must_use]
     pub fn free_road_acceleration(&self, v: f64) -> f64 {
-        self.max_acceleration
-            * (1.0 - (v / self.desired_velocity).powf(self.acceleration_exponent))
+        self.max_acceleration * (1.0 - (v / self.desired_velocity).powf(self.acceleration_exponent))
     }
 }
 

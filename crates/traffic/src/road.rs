@@ -218,10 +218,7 @@ mod tests {
     #[test]
     fn two_way_has_both_directions() {
         assert_eq!(RoadConfig::paper_default().directions(), &[Direction::East]);
-        assert_eq!(
-            RoadConfig::paper_two_way().directions(),
-            &[Direction::East, Direction::West]
-        );
+        assert_eq!(RoadConfig::paper_two_way().directions(), &[Direction::East, Direction::West]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::road::{Direction, RoadConfig};
 use crate::vehicle::{Vehicle, VehicleId};
 use geonet_geo::Position;
+use geonet_sim::{SimTime, TraceEvent, Tracer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -48,6 +49,7 @@ pub struct TrafficSim {
     last_entered: HashMap<Direction, VehicleId>,
     collisions: u64,
     elapsed: f64,
+    tracer: Tracer,
 }
 
 impl TrafficSim {
@@ -68,6 +70,7 @@ impl TrafficSim {
             last_entered: HashMap::new(),
             collisions: 0,
             elapsed: 0.0,
+            tracer: Tracer::disabled(),
         };
         sim.prefill();
         sim
@@ -185,6 +188,13 @@ impl TrafficSim {
             self.road.length
         );
         self.hazards.push(Hazard { direction, s });
+        self.tracer.emit(SimTime::from_secs_f64(self.elapsed), || TraceEvent::HazardOnset { x: s });
+    }
+
+    /// Attaches a tracer; hazard onsets and collisions are emitted as
+    /// [`TraceEvent`]s from now on.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Removes all hazards in `direction` (the event has been cleared).
@@ -226,10 +236,7 @@ impl TrafficSim {
         for key in keys {
             let mut idxs = lanes.remove(&key).expect("key from map");
             idxs.sort_by(|&a, &b| {
-                self.vehicles[b]
-                    .s
-                    .partial_cmp(&self.vehicles[a].s)
-                    .expect("positions are finite")
+                self.vehicles[b].s.partial_cmp(&self.vehicles[a].s).expect("positions are finite")
             });
             // Compute accelerations against the current (pre-update) state,
             // then integrate — a synchronous update, standard for IDM.
@@ -243,8 +250,7 @@ impl TrafficSim {
                     Some((lead.s - self.road.vehicle_length - v.s, lead.v))
                 };
                 // A hazard acts as a stopped, zero-length leader.
-                let hazard_gap =
-                    self.hazard_ahead(v.direction, v.s).map(|hs| (hs - v.s, 0.0f64));
+                let hazard_gap = self.hazard_ahead(v.direction, v.s).map(|hs| (hs - v.s, 0.0f64));
                 let binding = match (leader_gap, hazard_gap) {
                     (Some(l), Some(h)) => Some(if l.0 <= h.0 { l } else { h }),
                     (l, h) => l.or(h),
@@ -255,6 +261,10 @@ impl TrafficSim {
                             // Gap collapse: scripted interference (never
                             // produced by IDM itself). Record and stop dead.
                             self.collisions += 1;
+                            let x = v.s;
+                            self.tracer.emit(SimTime::from_secs_f64(self.elapsed), || {
+                                TraceEvent::Collision { x }
+                            });
                             -f64::INFINITY // sentinel: stop below
                         } else {
                             self.road.idm.acceleration(v.v, gap, v.v - lead_v)
@@ -427,15 +437,10 @@ mod tests {
         run(&mut sim, 120.0);
         // Vehicles queue behind the hazard: none straddle it, and the
         // closest queued vehicle is (nearly) stopped short of it.
-        let max_s = sim
-            .active_vehicles()
-            .map(|v| v.s)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_s = sim.active_vehicles().map(|v| v.s).fold(f64::NEG_INFINITY, f64::max);
         assert!(max_s < 3_600.0, "vehicle passed the hazard: {max_s}");
-        let queue_head = sim
-            .active_vehicles()
-            .max_by(|a, b| a.s.partial_cmp(&b.s).unwrap())
-            .unwrap();
+        let queue_head =
+            sim.active_vehicles().max_by(|a, b| a.s.partial_cmp(&b.s).unwrap()).unwrap();
         assert!(queue_head.v < 1.0, "queue head still moving at {} m/s", queue_head.v);
         // With the gate open the jam grows past the steady-state count.
         assert!(sim.count_on_road() > 140, "count = {}", sim.count_on_road());
@@ -446,11 +451,8 @@ mod tests {
     fn hazard_lets_downstream_vehicles_exit() {
         let mut sim = TrafficSim::new(RoadConfig::paper_default());
         sim.add_hazard(Direction::East, 3_600.0);
-        let downstream: Vec<VehicleId> = sim
-            .active_vehicles()
-            .filter(|v| v.s > 3_600.0)
-            .map(|v| v.id)
-            .collect();
+        let downstream: Vec<VehicleId> =
+            sim.active_vehicles().filter(|v| v.s > 3_600.0).map(|v| v.id).collect();
         assert!(!downstream.is_empty());
         // Worst case: (4 600 − 3 610) / 30 ≈ 33 s to clear the margin.
         run(&mut sim, 50.0);

@@ -36,11 +36,7 @@ fn main() {
     println!("\n   t | on-road (af) | on-road (attacked)");
     println!("-----+--------------+-------------------");
     for &(t, n_af) in af.samples.iter().filter(|&&(t, _)| t % 10 == 0) {
-        let n_atk = atk
-            .samples
-            .iter()
-            .find(|&&(ta, _)| ta == t)
-            .map_or(0, |&(_, n)| n);
+        let n_atk = atk.samples.iter().find(|&&(ta, _)| ta == t).map_or(0, |&(_, n)| n);
         let marker = if n_atk > n_af + 20 { "  ← jam building" } else { "" };
         println!("{t:>4} | {n_af:>12} | {n_atk:>14}{marker}");
     }

@@ -32,7 +32,10 @@ fn main() {
         ("worst NLoS (327 m)", profile.nlos_worst(), 0.468),
     ];
 
-    println!("{:<22} {:>10} {:>10} {:>8} {:>8}", "attack range", "af recv", "atk recv", "γ ours", "γ paper");
+    println!(
+        "{:<22} {:>10} {:>10} {:>8} {:>8}",
+        "attack range", "af recv", "atk recv", "γ ours", "γ paper"
+    );
     for (label, range, paper_gamma) in settings {
         let r = interarea::run_ab(&base.with_attack_range(range), label, scale, 42);
         println!(

@@ -43,8 +43,7 @@ fn main() {
         "attacked:      warning relayed by R1 = {}, collision = {}{}",
         atk.v2_warned,
         atk.collision,
-        atk.collision_time
-            .map_or_else(String::new, |t| format!(" at t = {t:.1} s")),
+        atk.collision_time.map_or_else(String::new, |t| format!(" at t = {t:.1} s")),
     );
     println!("\nV2 speed profile (m/s), attacker-free vs attacked:");
     println!("   t |   af |  atk");

@@ -29,21 +29,31 @@ fn main() {
     println!("== Single-hop broadcast (CAM-style) ==");
     let actions = v1.originate_shb(b"CAM: speed 30".to_vec(), t, positions[0], 30.0, Heading::EAST);
     let RouterAction::Transmit(shb) = &actions[0] else { unreachable!() };
-    println!("v1 sends SHB ({} bytes on the wire, RHL {})", shb.msg.packet.encode().len(), shb.msg.rhl());
+    println!(
+        "v1 sends SHB ({} bytes on the wire, RHL {})",
+        shb.msg.packet.encode().len(),
+        shb.msg.rhl()
+    );
     for a in v2.handle_frame(shb, positions[1], t) {
         if let RouterAction::Deliver { payload, .. } = a {
-            println!("v2 delivers: {:?} — and learned v1's position from the same frame", String::from_utf8_lossy(&payload));
+            println!(
+                "v2 delivers: {:?} — and learned v1's position from the same frame",
+                String::from_utf8_lossy(&payload)
+            );
         }
     }
 
     println!("\n== Topologically-scoped broadcast ==");
-    let (_, actions) = v1.originate_tsb(b"TSB: convoy notice".to_vec(), 3, t, positions[0], 30.0, Heading::EAST);
+    let (_, actions) =
+        v1.originate_tsb(b"TSB: convoy notice".to_vec(), 3, t, positions[0], 30.0, Heading::EAST);
     let RouterAction::Transmit(tsb) = &actions[0] else { unreachable!() };
     println!("v1 floods TSB with hop limit {}", tsb.msg.rhl());
     let hop2 = v2.handle_frame(tsb, positions[1], t);
     for a in &hop2 {
         match a {
-            RouterAction::Deliver { .. } => println!("v2 delivers and re-broadcasts (RHL decremented)"),
+            RouterAction::Deliver { .. } => {
+                println!("v2 delivers and re-broadcasts (RHL decremented)")
+            }
             RouterAction::Transmit(f) => {
                 for a3 in v3.handle_frame(f, positions[2], t) {
                     if matches!(a3, RouterAction::Deliver { .. }) {
@@ -63,12 +73,16 @@ fn main() {
     v1.handle_frame(&b2, positions[0], t);
     v2.handle_frame(&b3, positions[1], t);
     let de_pv = ShortPositionVector::from_long(b3.msg.packet.so_pv());
-    let (_, actions) = v1.originate_guc(de_pv, b"GUC: hello v3".to_vec(), t, positions[0], 30.0, Heading::EAST);
+    let (_, actions) =
+        v1.originate_guc(de_pv, b"GUC: hello v3".to_vec(), t, positions[0], 30.0, Heading::EAST);
     let RouterAction::Transmit(f1) = &actions[0] else { unreachable!() };
     println!("v1 → {} (greedy next hop)", f1.dst.map(|d| d.to_string()).unwrap_or_default());
     let actions = v2.handle_frame(f1, positions[1], t);
     let RouterAction::Transmit(f2) = &actions[0] else { unreachable!() };
-    println!("v2 → {} (destination reached next)", f2.dst.map(|d| d.to_string()).unwrap_or_default());
+    println!(
+        "v2 → {} (destination reached next)",
+        f2.dst.map(|d| d.to_string()).unwrap_or_default()
+    );
     for a in v3.handle_frame(f2, positions[2], t) {
         if let RouterAction::Deliver { payload, .. } = a {
             println!("v3 delivers: {:?}", String::from_utf8_lossy(&payload));

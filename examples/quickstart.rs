@@ -28,24 +28,9 @@ fn main() {
     let reference = GeoReference::default();
     let config = GnConfig::paper_default(RangeProfile::DSRC.dist_max());
 
-    let mut v1 = GnRouter::new(
-        ca.enroll(GnAddress::vehicle(1)),
-        ca.verifier(),
-        config,
-        reference,
-    );
-    let v2 = GnRouter::new(
-        ca.enroll(GnAddress::vehicle(2)),
-        ca.verifier(),
-        config,
-        reference,
-    );
-    let v3 = GnRouter::new(
-        ca.enroll(GnAddress::vehicle(3)),
-        ca.verifier(),
-        config,
-        reference,
-    );
+    let mut v1 = GnRouter::new(ca.enroll(GnAddress::vehicle(1)), ca.verifier(), config, reference);
+    let v2 = GnRouter::new(ca.enroll(GnAddress::vehicle(2)), ca.verifier(), config, reference);
+    let v3 = GnRouter::new(ca.enroll(GnAddress::vehicle(3)), ca.verifier(), config, reference);
 
     // Figure 2 of the paper: V1 wants to reach a destination area east of
     // everyone. V2 (300 m east) is V1's only real neighbour; V3 (700 m
@@ -58,17 +43,19 @@ fn main() {
 
     // Normal operation: V1 hears only V2's beacon.
     v1.handle_frame(&v2_beacon, v1_pos, t0);
-    let (_, actions) = v1.originate(&dest, b"hazard ahead".to_vec(), t0, v1_pos, 30.0, Heading::EAST);
+    let (_, actions) =
+        v1.originate(&dest, b"hazard ahead".to_vec(), t0, v1_pos, 30.0, Heading::EAST);
     describe("attacker-free", &actions);
 
     // The attack: a roadside sniffer captures V3's beacon and replays it
     // to V1 within a millisecond. The beacon is authentic — it verifies —
     // so V1 installs an unreachable neighbour and forwards into the void.
     let mut attacker = InterAreaAttacker::new(Position::new(400.0, -10.0));
-    let order = attacker.on_sniff(&v3_beacon).expect("beacons are replayed");
+    let order = attacker.on_sniff(&v3_beacon, t0).expect("beacons are replayed");
     let t1 = t0 + order.delay;
     v1.handle_frame(&order.frame, v1_pos, t1);
-    let (_, actions) = v1.originate(&dest, b"hazard ahead".to_vec(), t1, v1_pos, 30.0, Heading::EAST);
+    let (_, actions) =
+        v1.originate(&dest, b"hazard ahead".to_vec(), t1, v1_pos, 30.0, Heading::EAST);
     describe("under beacon replay", &actions);
 
     // The mitigation: re-run with the paper's plausibility check enabled.

@@ -64,8 +64,7 @@ fn decoding_is_canonicalising_under_bit_flips() {
             mutated[i] ^= 1 << bit;
             if let Ok(decoded) = GnPacket::decode(&mutated) {
                 let canonical = decoded.encode();
-                let twice =
-                    GnPacket::decode(&canonical).expect("canonical form must decode");
+                let twice = GnPacket::decode(&canonical).expect("canonical form must decode");
                 assert_eq!(twice, decoded, "byte {i} bit {bit}: decode not canonicalising");
                 assert_eq!(twice.encode(), canonical, "byte {i} bit {bit}: unstable encoding");
             }

@@ -1,0 +1,81 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Only the [`BufMut`] write interface used by the GeoNetworking wire
+//! codecs is provided, implemented for `Vec<u8>`. All multi-byte writes
+//! are big-endian, matching the real crate's `put_u16`/`put_u32`/`put_u64`
+//! (network byte order, which is also what EN 302 636-4-1 prescribes).
+
+#![forbid(unsafe_code)]
+
+/// A trait for buffers that can be written to incrementally.
+pub trait BufMut {
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u16` in big-endian byte order.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a `u32` in big-endian byte order.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a `u64` in big-endian byte order.
+    fn put_u64(&mut self, v: u64);
+    /// Appends an `i32` in big-endian byte order.
+    fn put_i32(&mut self, v: i32) {
+        self.put_u32(v as u32);
+    }
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_u8(&mut self, v: u8) {
+        (**self).put_u8(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        (**self).put_u16(v);
+    }
+    fn put_u32(&mut self, v: u32) {
+        (**self).put_u32(v);
+    }
+    fn put_u64(&mut self, v: u64) {
+        (**self).put_u64(v);
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BufMut;
+
+    #[test]
+    fn big_endian_layout() {
+        let mut out = Vec::new();
+        out.put_u8(0x01);
+        out.put_u16(0x0203);
+        out.put_u32(0x0405_0607);
+        out.put_u64(0x0809_0A0B_0C0D_0E0F);
+        out.put_slice(&[0xAA, 0xBB]);
+        assert_eq!(
+            out,
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F, 0xAA, 0xBB]
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — [`Criterion`],
+//! [`Bencher`], [`BenchmarkGroup`], `criterion_group!`/`criterion_main!`
+//! and [`black_box`] — backed by a simple wall-clock harness: warm up,
+//! then take `sample_size` samples and report the median ns/iteration to
+//! stdout. There is no statistical analysis, HTML report, or baseline
+//! comparison; the point is that `cargo bench` runs offline and produces
+//! stable, comparable numbers.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Per-invocation measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (consuming builder,
+    /// as in real criterion's `Criterion::default().sample_size(..)`).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), &self.settings, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup { _parent: self, name: name.into(), settings }
+    }
+
+    /// Final-summary hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group (in-place, as in real
+    /// criterion's `group.sample_size(10);`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, &self.settings, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`, first warming up, then timing batches sized so
+    /// each sample runs for roughly `measurement_time / sample_size`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warmup_end = Instant::now() + self.settings.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warmup_end {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let per_sample =
+            self.settings.measurement_time.as_secs_f64() / self.settings.sample_size.max(1) as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        self.median_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, f: &mut F) {
+    let mut b = Bencher { settings: settings.clone(), median_ns: f64::NAN };
+    f(&mut b);
+    if b.median_ns.is_nan() {
+        println!("{id:<50} (no measurement: Bencher::iter never called)");
+    } else if b.median_ns < 10_000.0 {
+        println!("{id:<50} {:>12.1} ns/iter", b.median_ns);
+    } else if b.median_ns < 10_000_000.0 {
+        println!("{id:<50} {:>12.2} µs/iter", b.median_ns / 1e3);
+    } else {
+        println!("{id:<50} {:>12.2} ms/iter", b.median_ns / 1e6);
+    }
+}
+
+/// Declares a benchmark group function, mirroring real criterion's two
+/// forms (`name/config/targets` and the plain list).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Settings {
+        Settings {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            warm_up_time: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion { settings: fast() };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_share_prefix_and_settings() {
+        let mut c = Criterion { settings: fast() };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| black_box(0u8)));
+        group.finish();
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! this minimal crate instead of the real `serde`. It keeps the parts of
+//! the public surface this repository touches:
+//!
+//! * the `Serialize` / `Deserialize` trait names (as marker traits with
+//!   blanket impls, so bounds written against them always hold), and
+//! * the `derive` feature re-exporting no-op derive macros from the
+//!   vendored `serde_derive`.
+//!
+//! Actual wire serialization in this workspace is hand-written where it is
+//! needed: the packet codecs in `geonet::wire` and the JSONL trace codec
+//! in `geonet_sim::trace`.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Blanket-implemented for every type, so `#[derive(Serialize)]` (a no-op
+/// under the vendored `serde_derive`) leaves types satisfying
+/// `T: Serialize` bounds exactly as with the real crate.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal facade (see `vendor/serde`). The derive
+//! macros here accept the usual `#[derive(Serialize, Deserialize)]`
+//! syntax (including `#[serde(...)]` attributes) and expand to nothing:
+//! the vendored `serde` crate provides blanket implementations of its
+//! marker traits, so derived types still satisfy `T: Serialize` bounds.
+//!
+//! Structured serialization in this workspace is done by hand where it is
+//! actually needed (see `geonet_sim::trace` for the JSONL codec).
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the vendored `serde::Serialize` is a marker
+/// trait with a blanket impl, so there is nothing to generate.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive, mirroring [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
