@@ -11,7 +11,7 @@ use geonet::{
 use geonet_geo::{Area, GeoReference, Heading, Position};
 use geonet_radio::Medium;
 use geonet_scenarios::{ScenarioConfig, World};
-use geonet_sim::{shared, NullSink, SimDuration, SimTime, Tracer};
+use geonet_sim::{shared, shared_registry, NullSink, SimDuration, SimTime, Telemetry, Tracer};
 use geonet_traffic::{RoadConfig, TrafficSim};
 use std::hint::black_box;
 
@@ -160,6 +160,19 @@ fn bench_handle_frame(c: &mut Criterion) {
             GeoReference::default(),
         );
         router.set_tracer(Tracer::attached(shared(NullSink)));
+        b.iter(|| black_box(router.handle_frame(black_box(&frame), own, SimTime::from_secs(1))));
+    });
+    // Same acceptance criterion for the telemetry layer: disabled
+    // telemetry (the default above) reads no clock; an attached registry
+    // pays two `Instant::now()` calls plus one histogram record.
+    c.bench_function("handle_frame_beacon_telemetry_attached", |b| {
+        let mut router = GnRouter::new(
+            ca.enroll(GnAddress::vehicle(1)),
+            verifier.clone(),
+            cfg,
+            GeoReference::default(),
+        );
+        router.set_telemetry(Telemetry::attached(shared_registry()));
         b.iter(|| black_box(router.handle_frame(black_box(&frame), own, SimTime::from_secs(1))));
     });
 }

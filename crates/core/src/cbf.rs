@@ -183,6 +183,14 @@ impl CbfBuffer {
         self.entries.len()
     }
 
+    /// Number of packet keys in the already-handled list — a state-depth
+    /// gauge for telemetry (grows until purged by
+    /// [`CbfBuffer::purge_handled_before`]).
+    #[must_use]
+    pub fn handled_count(&self) -> usize {
+        self.handled.len()
+    }
+
     /// Whether `key` has already been handled (delivered once).
     #[must_use]
     pub fn is_handled(&self, key: PacketKey) -> bool {

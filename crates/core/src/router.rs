@@ -17,7 +17,9 @@ use crate::security::{Credentials, SecuredPacket, Verifier};
 use crate::types::{GnAddress, SequenceNumber};
 use crate::wire::GnPacket;
 use geonet_geo::{Area, GeoReference, Heading, Position};
-use geonet_sim::{DropReason, PacketRef, SimDuration, SimRng, SimTime, TraceEvent, Tracer};
+use geonet_sim::{
+    DropReason, PacketRef, SimDuration, SimRng, SimTime, Telemetry, TraceEvent, Tracer,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An action the router asks its host to perform.
@@ -174,6 +176,7 @@ pub struct GnRouter {
     next_sn: SequenceNumber,
     stats: RouterStats,
     tracer: Tracer,
+    telemetry: Telemetry,
 }
 
 impl GnRouter {
@@ -199,6 +202,7 @@ impl GnRouter {
             next_sn: SequenceNumber(0),
             stats: RouterStats::default(),
             tracer: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -207,6 +211,28 @@ impl GnRouter {
     /// event delivery entirely (the stats counters still update).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a telemetry handle; [`GnRouter::handle_frame`] wall-clock
+    /// time is recorded through it. The default is
+    /// [`Telemetry::disabled`], which costs one branch per frame.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Number of packet keys held for duplicate suppression (greedy and
+    /// topologically-scoped forwarding history plus the CBF
+    /// handled-packet list) — a state-depth gauge for telemetry.
+    #[must_use]
+    pub fn duplicate_cache_size(&self) -> usize {
+        self.gf_seen.len() + self.tsb_seen.len() + self.cbf.handled_count()
+    }
+
+    /// Number of packets currently buffered for CBF contention — a
+    /// state-depth gauge for telemetry.
+    #[must_use]
+    pub fn cbf_buffered_count(&self) -> usize {
+        self.cbf.buffered_count()
     }
 
     /// Records one routing decision: folds the event into the stats
@@ -378,6 +404,7 @@ impl GnRouter {
         position: Position,
         now: SimTime,
     ) -> Vec<RouterAction> {
+        let _span = self.telemetry.time("router_handle_frame_ns");
         // Link-layer address filter: unicasts for someone else are ignored.
         if !frame.addressed_to(self.addr()) {
             return Vec::new();

@@ -1,7 +1,7 @@
 //! The unit-disk broadcast medium.
 
 use geonet_geo::Position;
-use geonet_sim::SimDuration;
+use geonet_sim::{SimDuration, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -48,13 +48,20 @@ struct Entry {
 #[derive(Debug, Default)]
 pub struct Medium {
     entries: Vec<Entry>,
+    telemetry: Telemetry,
 }
 
 impl Medium {
     /// Creates an empty medium.
     #[must_use]
     pub fn new() -> Self {
-        Medium { entries: Vec::new() }
+        Medium { entries: Vec::new(), telemetry: Telemetry::disabled() }
+    }
+
+    /// Attaches a telemetry handle; the receiver scan behind every
+    /// broadcast is wall-clock timed through it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Registers a node at `position` with transmission range `tx_range`
@@ -159,6 +166,7 @@ impl Medium {
     #[must_use]
     pub fn receivers_within(&self, sender: NodeId, cap_range: f64) -> Vec<NodeId> {
         assert!(cap_range.is_finite() && cap_range >= 0.0, "invalid cap range: {cap_range}");
+        let _span = self.telemetry.time("radio_receiver_scan_ns");
         let s = &self.entries[sender.index()];
         if !s.active {
             return Vec::new();

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--runs N] [--duration SECS] [--seed S] [--csv]
-//!       [--trace PREFIX] [--forensics] <experiment>...
+//!       [--trace PREFIX] [--forensics] [--metrics PREFIX] [--profile]
+//!       <experiment>...
 //! ```
 //!
 //! Experiments: `table1 table2 fig7a fig7b fig7c fig7d fig7e fig8
@@ -11,15 +12,23 @@
 //! `ext-loss` and `ext-mobile`.
 //!
 //! Defaults to a reduced scale (5 runs × 100 s); pass `--runs 100
-//! --duration 200` for the paper's full scale.
+//! --duration 200` for the paper's full scale. Every run prints one
+//! progress line to stderr (wall time, events/sec, sim/wall ratio, ETA).
 //!
 //! `--trace PREFIX` and `--forensics` add a *forensic pass*: one traced,
 //! attacked single run per attack family (interception and blockage) at
 //! the current duration and seed. `--trace` streams each run's events to
 //! `PREFIX.<family>.jsonl` (one JSON object per line — the schema of
 //! [`geonet_sim::trace`]); `--forensics` prints the per-run loss
-//! attribution table and the busiest nodes' counters. With either flag
-//! the experiment list may be empty.
+//! attribution table and the busiest nodes' counters.
+//!
+//! `--metrics PREFIX` and `--profile` add a *telemetry pass*: one
+//! attacked inter-area interception run with a
+//! [`geonet_sim::telemetry`] registry attached. `--metrics` writes the
+//! registry to `PREFIX.metrics.prom` (Prometheus text exposition) and
+//! `PREFIX.metrics.json` (round-trippable snapshot); `--profile` prints
+//! the hot-path timer table (count, p50/p95/p99/max). With any of these
+//! four flags the experiment list may be empty.
 
 use geonet_attack::IntraAreaAttacker;
 use geonet_radio::RangeProfile;
@@ -27,31 +36,51 @@ use geonet_scenarios::config::Scale;
 use geonet_scenarios::forensics::{top_nodes, AttributionReport};
 use geonet_scenarios::report::{render_table, series_to_csv, to_csv, ExperimentRow};
 use geonet_scenarios::{
-    analysis, extensions, impact, interarea, intraarea, mitigation, safety, AbResult,
+    analysis, extensions, impact, interarea, intraarea, mitigation, progress, safety, AbResult,
     ScenarioConfig,
 };
-use geonet_sim::{shared, JsonlSink, TraceSink, VecSink};
+use geonet_sim::{shared, shared_registry, JsonlSink, SimDuration, TraceSink, VecSink};
 use geonet_traffic::IdmParams;
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Options {
     scale: Scale,
     seed: u64,
     csv: bool,
     trace: Option<String>,
     forensics: bool,
+    metrics: Option<String>,
+    profile: bool,
     experiments: Vec<String>,
 }
 
-fn parse_args() -> Result<Options, String> {
+/// Remembers which `--` flags appeared; a repeated flag is rejected with
+/// an error naming it (a duplicate is always a typo for this CLI — the
+/// later value would silently win otherwise).
+fn note_seen(seen: &mut Vec<String>, flag: &str) -> Result<(), String> {
+    if seen.iter().any(|f| f == flag) {
+        return Err(format!("duplicate flag {flag}"));
+    }
+    seen.push(flag.to_string());
+    Ok(())
+}
+
+fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut scale = Scale { runs: 5, duration_s: 100 };
     let mut seed = 42;
     let mut csv = false;
     let mut trace = None;
     let mut forensics = false;
+    let mut metrics = None;
+    let mut profile = false;
     let mut experiments = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut seen: Vec<String> = Vec::new();
+    let mut args = args;
     while let Some(arg) = args.next() {
+        if arg.starts_with('-') && arg != "--help" && arg != "-h" {
+            note_seen(&mut seen, &arg)?;
+        }
         match arg.as_str() {
             "--runs" => {
                 scale.runs = args
@@ -79,14 +108,21 @@ fn parse_args() -> Result<Options, String> {
                 trace = Some(args.next().ok_or("--trace needs a path prefix")?);
             }
             "--forensics" => forensics = true,
+            "--metrics" => {
+                metrics = Some(args.next().ok_or("--metrics needs a path prefix")?);
+            }
+            "--profile" => profile = true,
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--runs N] [--duration SECS] [--seed S] [--csv]\n\
-                     \x20            [--trace PREFIX] [--forensics] <experiment>...\n\
+                     \x20            [--trace PREFIX] [--forensics] [--metrics PREFIX]\n\
+                     \x20            [--profile] <experiment>...\n\
                      experiments: table1 table2 fig7a fig7b fig7c fig7d fig7e fig8 fig9a fig9b\n\
                      fig9c fig9d fig9e fig9src fig10 fig12a fig12b fig13 fig14a fig14b all\n\
-                     --trace PREFIX  write PREFIX.<family>.jsonl event logs (forensic pass)\n\
-                     --forensics     print per-run loss attribution and busiest-node counters"
+                     --trace PREFIX   write PREFIX.<family>.jsonl event logs (forensic pass)\n\
+                     --forensics      print per-run loss attribution and busiest-node counters\n\
+                     --metrics PREFIX write PREFIX.metrics.prom + PREFIX.metrics.json telemetry\n\
+                     --profile        print the hot-path wall-clock timer table"
                 );
                 std::process::exit(0);
             }
@@ -94,7 +130,7 @@ fn parse_args() -> Result<Options, String> {
             other => experiments.push(other.to_string()),
         }
     }
-    if experiments.is_empty() && trace.is_none() && !forensics {
+    if experiments.is_empty() && trace.is_none() && !forensics && metrics.is_none() && !profile {
         return Err("no experiments given (try `repro --help`)".into());
     }
     if experiments.iter().any(|e| e == "all") {
@@ -107,7 +143,7 @@ fn parse_args() -> Result<Options, String> {
         .map(|s| (*s).to_string())
         .collect();
     }
-    Ok(Options { scale, seed, csv, trace, forensics, experiments })
+    Ok(Options { scale, seed, csv, trace, forensics, metrics, profile, experiments })
 }
 
 /// One traced, attacked run per attack family: JSONL dumps for
@@ -168,6 +204,84 @@ fn forensic_pass(opts: &Options) -> Result<(), String> {
             }
             println!();
         }
+    }
+    Ok(())
+}
+
+/// One attacked inter-area interception run with a telemetry registry
+/// attached, feeding `--metrics` exporters and the `--profile` table.
+fn telemetry_pass(opts: &Options) -> Result<(), String> {
+    let registry = shared_registry();
+    let cfg = ScenarioConfig::paper_dsrc_default()
+        .with_attack_range(486.0)
+        .with_duration(SimDuration::from_secs(opts.scale.duration_s));
+    progress::begin_setting("telemetry", 1);
+    let t0 = std::time::Instant::now();
+    let (bins, events) = interarea::run_one_metered(&cfg, true, opts.seed, registry.clone());
+    let wall = t0.elapsed().as_secs_f64();
+    {
+        let mut reg = registry.borrow_mut();
+        reg.add("sim_events_total", events);
+        reg.set_gauge("run_wall_seconds", wall);
+        if wall > 0.0 {
+            reg.set_gauge("sim_events_per_sec", events as f64 / wall);
+            reg.set_gauge("sim_wall_ratio", cfg.duration.as_secs_f64() / wall);
+        }
+        if let Some(rate) = bins.overall_rate() {
+            reg.set_gauge("attacked_reception_rate", rate);
+        }
+        // Whole-invocation totals: covers any experiments that ran before
+        // this pass, plus the metered run itself.
+        if let Some(s) = progress::summary() {
+            reg.add("campaign_runs_total", s.runs);
+            reg.add("campaign_events_total", s.events);
+            if let Some(eps) = s.events_per_sec() {
+                reg.set_gauge("campaign_events_per_sec", eps);
+            }
+            if let Some(r) = s.sim_wall_ratio() {
+                reg.set_gauge("campaign_sim_wall_ratio", r);
+            }
+        }
+    }
+    let snap = registry.borrow().snapshot();
+    if let Some(prefix) = &opts.metrics {
+        let prom_path = format!("{prefix}.metrics.prom");
+        std::fs::write(&prom_path, snap.to_prometheus())
+            .map_err(|e| format!("--metrics {prom_path}: {e}"))?;
+        let json_path = format!("{prefix}.metrics.json");
+        std::fs::write(&json_path, snap.to_json())
+            .map_err(|e| format!("--metrics {json_path}: {e}"))?;
+        eprintln!("# metrics: {prom_path}, {json_path}");
+    }
+    if opts.profile {
+        let us = |ns: Option<u64>| match ns {
+            Some(v) => format!("{:.1}", v as f64 / 1e3),
+            None => "-".into(),
+        };
+        println!(
+            "Hot-path profile — one attacked inter-area run, seed {}, {} s sim",
+            opts.seed, opts.scale.duration_s
+        );
+        println!(
+            "{:<26} {:>10} {:>9} {:>9} {:>9} {:>9}",
+            "timer", "count", "p50 µs", "p95 µs", "p99 µs", "max µs"
+        );
+        for name in snap.histogram_names() {
+            if !name.ends_with("_ns") {
+                continue;
+            }
+            let h = snap.histogram(name).expect("name from snapshot");
+            println!(
+                "{:<26} {:>10} {:>9} {:>9} {:>9} {:>9}",
+                name,
+                h.count(),
+                us(h.p50()),
+                us(h.p95()),
+                us(h.p99()),
+                us(Some(h.max())),
+            );
+        }
+        println!();
     }
     Ok(())
 }
@@ -445,22 +559,25 @@ fn run_experiment(opts: &Options, name: &str) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
+    let opts = match parse_args_from(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    progress::enable();
     eprintln!(
         "# scale: {} runs × {} s, seed {}",
         opts.scale.runs, opts.scale.duration_s, opts.seed
     );
     for name in opts.experiments.clone() {
+        let t0 = std::time::Instant::now();
         if let Err(e) = run_experiment(&opts, &name) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+        progress::experiment_completed(&name, t0.elapsed());
     }
     if opts.trace.is_some() || opts.forensics {
         if let Err(e) = forensic_pass(&opts) {
@@ -468,5 +585,75 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if opts.metrics.is_some() || opts.profile {
+        if let Err(e) = telemetry_pass(&opts) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args_from(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_flags_and_experiments() {
+        let o = parse(&["--runs", "7", "--duration", "30", "--seed", "9", "--csv", "fig7a"])
+            .expect("valid args");
+        assert_eq!(o.scale.runs, 7);
+        assert_eq!(o.scale.duration_s, 30);
+        assert_eq!(o.seed, 9);
+        assert!(o.csv);
+        assert_eq!(o.experiments, vec!["fig7a".to_string()]);
+        assert!(o.trace.is_none() && !o.forensics && o.metrics.is_none() && !o.profile);
+    }
+
+    #[test]
+    fn rejects_duplicate_flag_naming_it() {
+        let err = parse(&["--runs", "2", "--runs", "3", "fig7a"]).unwrap_err();
+        assert!(err.contains("duplicate flag --runs"), "got: {err}");
+        let err = parse(&["--csv", "--csv", "fig7a"]).unwrap_err();
+        assert!(err.contains("duplicate flag --csv"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_unknown_flag_naming_it() {
+        let err = parse(&["--frobnicate", "fig7a"]).unwrap_err();
+        assert!(err.contains("unknown flag --frobnicate"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = parse(&["fig7a", "--seed"]).unwrap_err();
+        assert!(err.contains("--seed"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_empty_experiment_list() {
+        let err = parse(&[]).unwrap_err();
+        assert!(err.contains("no experiments"), "got: {err}");
+    }
+
+    #[test]
+    fn metrics_and_profile_allow_empty_experiments() {
+        let o = parse(&["--metrics", "/tmp/out"]).expect("metrics alone is valid");
+        assert_eq!(o.metrics.as_deref(), Some("/tmp/out"));
+        assert!(o.experiments.is_empty());
+        let o = parse(&["--profile"]).expect("profile alone is valid");
+        assert!(o.profile);
+    }
+
+    #[test]
+    fn all_expands_to_paper_experiments() {
+        let o = parse(&["all"]).expect("valid");
+        assert_eq!(o.experiments.len(), 20);
+        assert!(o.experiments.iter().any(|e| e == "table1"));
+        assert!(o.experiments.iter().any(|e| e == "fig14b"));
+    }
 }

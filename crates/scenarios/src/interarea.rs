@@ -9,17 +9,18 @@
 //! average per-bin drop from the attacker-free to the attacked runs.
 
 use crate::config::{AttackerSetup, Scale, ScenarioConfig};
+use crate::progress;
 use crate::report::AbResult;
 use crate::world::World;
 use geonet_geo::{Area, Position};
 use geonet_radio::{AccessTechnology, NodeId, RangeProfile};
-use geonet_sim::{SharedSink, SimDuration, SimTime, TimeBins};
+use geonet_sim::{SharedRegistry, SharedSink, SimDuration, SimTime, TimeBins};
 
 /// Runs one seeded simulation and returns the per-bin reception counts of
 /// vulnerable packets at the destinations.
 #[must_use]
 pub fn run_one(cfg: &ScenarioConfig, attacked: bool, seed: u64) -> TimeBins {
-    run_one_inner(cfg, attacked, seed, None).0
+    run_one_inner(cfg, attacked, seed, None, None).0
 }
 
 /// Like [`run_one`], with every node's [`geonet_sim::TraceEvent`]s routed
@@ -31,7 +32,22 @@ pub fn run_one_traced(
     seed: u64,
     sink: SharedSink,
 ) -> TimeBins {
-    run_one_inner(cfg, attacked, seed, Some(sink)).0
+    run_one_inner(cfg, attacked, seed, Some(sink), None).0
+}
+
+/// Like [`run_one`], with a telemetry registry attached to the world: the
+/// hot-path histograms and state-depth gauges of
+/// [`geonet_sim::telemetry`] fill up during the run, and the run's kernel
+/// event count is returned alongside the bins for throughput accounting.
+#[must_use]
+pub fn run_one_metered(
+    cfg: &ScenarioConfig,
+    attacked: bool,
+    seed: u64,
+    registry: SharedRegistry,
+) -> (TimeBins, u64) {
+    let (bins, _, _, events) = run_one_full(cfg, attacked, seed, None, Some(registry));
+    (bins, events)
 }
 
 /// Like [`run_one`], additionally returning the channel load of the run:
@@ -39,7 +55,7 @@ pub fn run_one_traced(
 /// extension analysis.
 #[must_use]
 pub fn run_one_with_load(cfg: &ScenarioConfig, attacked: bool, seed: u64) -> (TimeBins, u64, u64) {
-    run_one_inner(cfg, attacked, seed, None)
+    run_one_inner(cfg, attacked, seed, None, None)
 }
 
 fn run_one_inner(
@@ -47,7 +63,20 @@ fn run_one_inner(
     attacked: bool,
     seed: u64,
     sink: Option<SharedSink>,
+    registry: Option<SharedRegistry>,
 ) -> (TimeBins, u64, u64) {
+    let (bins, frames, bytes, _) = run_one_full(cfg, attacked, seed, sink, registry);
+    (bins, frames, bytes)
+}
+
+fn run_one_full(
+    cfg: &ScenarioConfig,
+    attacked: bool,
+    seed: u64,
+    sink: Option<SharedSink>,
+    registry: Option<SharedRegistry>,
+) -> (TimeBins, u64, u64, u64) {
+    let started = progress::run_started();
     let duration_s = cfg.duration.as_secs();
     let mut bins = TimeBins::new(
         SimDuration::from_secs(5),
@@ -56,6 +85,9 @@ fn run_one_inner(
     let mut w = World::new(*cfg, attacked.then_some(AttackerSetup::InterArea), seed);
     if let Some(sink) = sink {
         w.set_trace_sink(sink);
+    }
+    if let Some(registry) = registry {
+        w.set_telemetry(registry);
     }
     let length = cfg.road.length;
     // Static destinations 20 m beyond each end (paper §IV-A), with small
@@ -97,7 +129,8 @@ fn run_one_inner(
     for (key, gen_time, dest) in generated {
         bins.record(gen_time, w.was_received(key, dest));
     }
-    (bins, w.frames_on_air(), w.bytes_on_air())
+    progress::run_completed(started, w.events_processed(), cfg.duration);
+    (bins, w.frames_on_air(), w.bytes_on_air(), w.events_processed())
 }
 
 /// Runs the A/B pair for one setting at the given scale, merging bins over
@@ -109,6 +142,7 @@ pub fn run_ab(cfg: &ScenarioConfig, label: &str, scale: Scale, base_seed: u64) -
     let bin_count = usize::try_from(duration_s.div_ceil(5)).expect("bin count fits");
     let mut baseline = TimeBins::new(SimDuration::from_secs(5), bin_count);
     let mut attacked = TimeBins::new(SimDuration::from_secs(5), bin_count);
+    progress::begin_setting(label, scale.runs * 2);
     for i in 0..scale.runs {
         let seed = base_seed.wrapping_add(u64::from(i) * 0x9E37);
         baseline.merge(&run_one(&cfg, false, seed));

@@ -8,6 +8,7 @@
 //! from attacker-free to attacked runs.
 
 use crate::config::{AttackerSetup, Scale, ScenarioConfig};
+use crate::progress;
 use crate::report::AbResult;
 use crate::world::World;
 use geonet::PacketKey;
@@ -79,6 +80,7 @@ fn run_one_inner(
     seed: u64,
     sink: Option<SharedSink>,
 ) -> Vec<PacketOutcome> {
+    let started = progress::run_started();
     let mode = BlockageMode::ClampRhl;
     let mut w = World::new(*cfg, attacked.then_some(AttackerSetup::IntraArea(mode)), seed);
     if let Some(sink) = sink {
@@ -97,6 +99,7 @@ fn run_one_inner(
         generated.push((key, w.now(), x, snapshot));
     }
     w.run_to_end();
+    progress::run_completed(started, w.events_processed(), cfg.duration);
     generated
         .into_iter()
         .map(|(key, generated_at, source_x, snapshot)| {
@@ -125,6 +128,7 @@ pub fn run_ab(cfg: &ScenarioConfig, label: &str, scale: Scale, base_seed: u64) -
     let bin_count = usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
     let mut baseline = TimeBins::new(SimDuration::from_secs(5), bin_count);
     let mut attacked = TimeBins::new(SimDuration::from_secs(5), bin_count);
+    progress::begin_setting(label, scale.runs * 2);
     for i in 0..scale.runs {
         let seed = base_seed.wrapping_add(u64::from(i) * 0x517C);
         baseline.merge(&outcomes_to_bins(&run_one(&cfg, false, seed), cfg.duration));

@@ -15,6 +15,11 @@
 //! | [`extensions`] | beyond the paper: ACK defense, lossy channels, mobile attacker |
 //! | [`analysis`] | closed-form γ/λ predictions from the attack geometry |
 //!
+//! Long campaigns can report progress and performance telemetry: see
+//! [`progress`] (per-run throughput/ETA lines) and
+//! [`geonet_sim::telemetry`] (hot-path histograms and state-depth gauges,
+//! attached to a world via [`World::set_telemetry`]).
+//!
 //! Every experiment is A/B: the same seeded world is run attacker-free
 //! (A) and attacked (B); packet reception rates are collected in 5 s time
 //! bins and γ/λ is the average per-bin drop, exactly as the paper defines
@@ -43,6 +48,7 @@ pub mod impact;
 pub mod interarea;
 pub mod intraarea;
 pub mod mitigation;
+pub mod progress;
 pub mod report;
 pub mod safety;
 pub mod world;

@@ -5,7 +5,10 @@ use geonet::{CertificateAuthority, Frame, GnAddress, GnRouter, PacketKey, Router
 use geonet_attack::{InterAreaAttacker, IntraAreaAttacker};
 use geonet_geo::{Area, GeoReference, Heading, Position};
 use geonet_radio::{Medium, NodeId};
-use geonet_sim::{Kernel, PacketRef, SharedSink, SimDuration, SimRng, SimTime, TraceEvent, Tracer};
+use geonet_sim::{
+    Kernel, PacketRef, SharedRegistry, SharedSink, SimDuration, SimRng, SimTime, Telemetry,
+    TraceEvent, Tracer,
+};
 use geonet_traffic::{Direction, TrafficSim, VehicleId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -72,6 +75,10 @@ pub struct World {
     frames_on_air: u64,
     bytes_on_air: u64,
     tracer: Tracer,
+    telemetry: Telemetry,
+    /// Traffic steps seen since telemetry was attached (drives the
+    /// periodic state-depth sampling cadence).
+    telemetry_steps: u32,
 }
 
 impl World {
@@ -110,6 +117,8 @@ impl World {
             frames_on_air: 0,
             bytes_on_air: 0,
             tracer: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
+            telemetry_steps: 0,
             cfg,
         };
         // Register the pre-filled vehicles.
@@ -148,6 +157,7 @@ impl World {
         let mut router =
             GnRouter::new(self.ca.enroll(addr), self.ca.verifier(), self.cfg.gn, self.reference);
         router.set_tracer(self.tracer.for_node(node.0));
+        router.set_telemetry(self.telemetry.clone());
         self.routers.push(Some(router));
         self.kinds.push(NodeKind::Vehicle(vid));
         let mut rng = self.root_rng.split(0x1000 + u64::from(node.0));
@@ -170,6 +180,7 @@ impl World {
         let mut router =
             GnRouter::new(self.ca.enroll(addr), self.ca.verifier(), self.cfg.gn, self.reference);
         router.set_tracer(self.tracer.for_node(node.0));
+        router.set_telemetry(self.telemetry.clone());
         self.routers.push(Some(router));
         self.kinds.push(NodeKind::Static);
         let mut rng = self.root_rng.split(0x2000 + u64::from(node.0));
@@ -200,6 +211,27 @@ impl World {
             }
         }
         self.traffic.set_tracer(self.tracer.clone());
+    }
+
+    /// Attaches a metrics registry; the hot paths (event dispatch, frame
+    /// handling, radio delivery, traffic stepping) are wall-clock timed
+    /// and internal state depths are sampled periodically from now on.
+    /// Like [`World::set_trace_sink`], the handle fans out to every
+    /// existing router and to vehicles registered later.
+    pub fn set_telemetry(&mut self, registry: SharedRegistry) {
+        self.telemetry = Telemetry::attached(registry);
+        for router in self.routers.iter_mut().flatten() {
+            router.set_telemetry(self.telemetry.clone());
+        }
+        self.medium.set_telemetry(self.telemetry.clone());
+        self.traffic.set_telemetry(self.telemetry.clone());
+    }
+
+    /// Total events the kernel has dispatched — the numerator of the
+    /// sim-events/sec throughput metric.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.kernel.events_processed()
     }
 
     fn packet_ref(key: PacketKey) -> PacketRef {
@@ -447,6 +479,7 @@ impl World {
     }
 
     fn dispatch(&mut self, ev: Ev) {
+        let _span = self.telemetry.time("world_dispatch_ns");
         match ev {
             Ev::TrafficStep => self.on_traffic_step(),
             Ev::Beacon(node) => self.on_beacon(node),
@@ -522,6 +555,40 @@ impl World {
             }
         }
         self.kernel.schedule_in(SimDuration::from_secs_f64(self.cfg.traffic_dt), Ev::TrafficStep);
+        self.sample_telemetry();
+    }
+
+    /// Samples internal state depths into the attached registry: the
+    /// event-queue length every traffic step, and the per-node LocT /
+    /// CBF-contention-buffer / duplicate-cache sizes (plus their fleet
+    /// totals) every 10th step (once per simulated second at the default
+    /// 100 ms timestep).
+    fn sample_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.gauge("event_queue_len", self.kernel.pending() as f64);
+        self.telemetry_steps += 1;
+        if !self.telemetry_steps.is_multiple_of(10) {
+            return;
+        }
+        let now = self.kernel.now();
+        let (mut loct_total, mut cbf_total, mut dup_total) = (0u64, 0u64, 0u64);
+        for router in self.routers.iter().flatten() {
+            let loct = router.loct().live_count(now) as u64;
+            let cbf = router.cbf_buffered_count() as u64;
+            let dup = router.duplicate_cache_size() as u64;
+            self.telemetry.observe("loct_size_per_node", loct);
+            self.telemetry.observe("cbf_buffer_per_node", cbf);
+            self.telemetry.observe("dup_cache_per_node", dup);
+            loct_total += loct;
+            cbf_total += cbf;
+            dup_total += dup;
+        }
+        self.telemetry.gauge("loct_size_total", loct_total as f64);
+        self.telemetry.gauge("cbf_buffer_total", cbf_total as f64);
+        self.telemetry.gauge("dup_cache_total", dup_total as f64);
+        self.telemetry.gauge("vehicles_on_road", self.traffic.count_on_road() as f64);
     }
 
     fn on_beacon(&mut self, node: NodeId) {
@@ -608,8 +675,12 @@ impl World {
     /// so it hears — and is heard by — nodes within the *attack range*,
     /// independent of the vehicles' NLoS range.
     fn transmit(&mut self, from: NodeId, frame: Frame, cap: Option<f64>) {
+        let _span = self.telemetry.time("radio_broadcast_ns");
         self.frames_on_air += 1;
-        self.bytes_on_air += frame.msg.packet.encode().len() as u64;
+        let wire_bytes = frame.msg.packet.encode().len() as u64;
+        self.bytes_on_air += wire_bytes;
+        self.telemetry.add("frames_on_air_total", 1);
+        self.telemetry.add("bytes_on_air_total", wire_bytes);
         let cap = cap.unwrap_or_else(|| self.medium.tx_range(from));
         let mut receivers = self.medium.receivers_within(from, cap);
         if let Some(atk) = self.attacker_node {

@@ -1,0 +1,96 @@
+//! End-to-end check of `repro --metrics` / `--profile`: runs the real
+//! binary on a reduced-scale interception run and validates the emitted
+//! telemetry artifacts (acceptance criterion for the telemetry layer).
+
+use geonet_sim::MetricsSnapshot;
+use std::process::Command;
+
+/// Hot-path timers that must show up with samples after a full run.
+const REQUIRED_TIMERS: &[&str] = &[
+    "router_handle_frame_ns",
+    "world_dispatch_ns",
+    "radio_broadcast_ns",
+    "radio_receiver_scan_ns",
+    "traffic_step_ns",
+];
+
+/// State-depth gauges sampled during the run.
+const REQUIRED_GAUGES: &[&str] = &["event_queue_len", "loct_size_total", "vehicles_on_road"];
+
+#[test]
+fn repro_metrics_emits_valid_artifacts() {
+    let dir = std::env::temp_dir().join(format!("geonet-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let prefix = dir.join("out");
+    let prefix_str = prefix.to_str().expect("utf-8 temp path");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--metrics", prefix_str, "--profile", "--duration", "20", "--seed", "11"])
+        .output()
+        .expect("run repro");
+    assert!(output.status.success(), "repro failed: {}", String::from_utf8_lossy(&output.stderr));
+
+    // --profile prints the hot-path table with quantile columns to stdout.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Hot-path profile"), "missing profile table:\n{stdout}");
+    assert!(stdout.contains("router_handle_frame_ns"), "profile table lacks router timer");
+    // Progress reporting goes to stderr with throughput figures.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("ev/s"), "missing events/sec progress line:\n{stderr}");
+
+    let prom_path = format!("{prefix_str}.metrics.prom");
+    let json_path = format!("{prefix_str}.metrics.json");
+    let prom = std::fs::read_to_string(&prom_path).expect("read .prom");
+    let json = std::fs::read_to_string(&json_path).expect("read .json");
+
+    // The JSON snapshot must parse back via the library parser.
+    let snap = MetricsSnapshot::from_json(&json).expect("valid JSON snapshot");
+
+    for timer in REQUIRED_TIMERS {
+        let h = snap.histogram(timer).unwrap_or_else(|| panic!("missing histogram {timer}"));
+        assert!(h.count() > 0, "{timer} recorded no samples");
+        let (p50, p95, p99) = (h.p50().expect("p50"), h.p95().expect("p95"), h.p99().expect("p99"));
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max(), "{timer} quantiles out of order");
+        // Each quantile family must also be literally present in the
+        // Prometheus exposition.
+        for suffix in ["_p50", "_p95", "_p99"] {
+            assert!(prom.contains(&format!("{timer}{suffix}")), "{timer}{suffix} not in .prom");
+        }
+    }
+
+    for gauge in REQUIRED_GAUGES {
+        let g = snap.gauge(gauge).unwrap_or_else(|| panic!("missing gauge {gauge}"));
+        assert!(g.count > 0, "{gauge} never sampled");
+        assert!(prom.contains(gauge), "{gauge} not in .prom");
+    }
+
+    // Per-node state-depth distributions are exported as histograms.
+    for hist in ["loct_size_per_node", "dup_cache_per_node"] {
+        assert!(snap.histogram(hist).is_some(), "missing histogram {hist}");
+    }
+
+    // Throughput gauges derived from the campaign summary.
+    let eps = snap.gauge("sim_events_per_sec").expect("events/sec gauge");
+    assert!(eps.last > 0.0, "events/sec must be positive");
+    assert!(snap.counter("sim_events_total").expect("events counter") > 0);
+    assert!(snap.counter("frames_on_air_total").expect("frames counter") > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repro_rejects_duplicate_and_unknown_flags() {
+    let dup = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--seed", "1", "--seed", "2", "table1"])
+        .output()
+        .expect("run repro");
+    assert!(!dup.status.success());
+    let stderr = String::from_utf8_lossy(&dup.stderr);
+    assert!(stderr.contains("duplicate flag --seed"), "got: {stderr}");
+
+    let unknown =
+        Command::new(env!("CARGO_BIN_EXE_repro")).args(["--bogus"]).output().expect("run repro");
+    assert!(!unknown.status.success());
+    let stderr = String::from_utf8_lossy(&unknown.stderr);
+    assert!(stderr.contains("unknown flag --bogus"), "got: {stderr}");
+}

@@ -14,6 +14,10 @@
 //! * [`metrics`] — time-binned success/total counters and the γ/λ rate
 //!   computations used throughout the paper's evaluation (packet reception
 //!   rate per 5 s bin, average drop rate between A/B runs).
+//! * [`telemetry`] — quantitative telemetry: counters, gauges and
+//!   log-bucketed histograms with scoped wall-clock timers and
+//!   Prometheus/JSON exporters, behind a zero-cost-when-disabled
+//!   [`Telemetry`] handle.
 //!
 //! # Example
 //!
@@ -37,6 +41,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -44,6 +49,10 @@ pub use kernel::Kernel;
 pub use metrics::{AbComparison, RunningStats, TimeBins};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use telemetry::{
+    shared_registry, Gauge, GaugeSummary, Histogram, MetricsRegistry, MetricsSnapshot, ScopedTimer,
+    SharedRegistry, Telemetry,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     shared, AttackKind, CountingSink, DropReason, EventCounters, JsonlSink, NullSink, PacketRef,

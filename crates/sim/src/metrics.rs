@@ -312,6 +312,28 @@ impl RunningStats {
         self.max = self.max.max(x);
     }
 
+    /// Merges another accumulator into this one, as if every sample pushed
+    /// into `other` had been pushed here (Chan et al.'s parallel variance
+    /// combination). Mirrors [`TimeBins::merge`]: it lets per-run stats be
+    /// aggregated across a campaign without re-pushing raw samples.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let (n1, n2) = (self.n as f64, other.n as f64);
+        self.m2 += other.m2 + delta * delta * n1 * n2 / (n1 + n2);
+        self.mean += delta * n2 / (n1 + n2);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.n = n;
+    }
+
     /// Number of samples.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -543,6 +565,35 @@ mod tests {
         s.push(f64::NAN);
     }
 
+    #[test]
+    fn running_stats_merge_matches_single_accumulator() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0];
+        let ys = [5.0, 7.0, 9.0];
+        let mut a: RunningStats = xs.into_iter().collect();
+        let b: RunningStats = ys.into_iter().collect();
+        a.merge(&b);
+        let all: RunningStats = xs.into_iter().chain(ys).collect();
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-12);
+        assert!((a.std_dev().unwrap() - all.std_dev().unwrap()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn running_stats_merge_with_empty_is_identity() {
+        let full: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let mut a = full;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, full);
+        let mut b = RunningStats::new();
+        b.merge(&full);
+        assert_eq!(b, full);
+        let mut c = RunningStats::new();
+        c.merge(&RunningStats::new());
+        assert_eq!(c.mean(), None);
+    }
+
     proptest! {
         #[test]
         fn prop_rates_in_unit_interval(events in prop::collection::vec((0u64..200, any::<bool>()), 1..500)) {
@@ -571,6 +622,25 @@ mod tests {
             for (s, ok) in b_events { b.record(SimTime::from_secs(s), ok); }
             if let Some(g) = AbComparison::new(a, b).drop_rate() {
                 prop_assert!((0.0..=1.0).contains(&g));
+            }
+        }
+
+        #[test]
+        fn prop_merge_equals_single_accumulator(
+            xs in prop::collection::vec(-1e6f64..1e6, 0..100),
+            ys in prop::collection::vec(-1e6f64..1e6, 0..100))
+        {
+            let mut merged: RunningStats = xs.iter().copied().collect();
+            merged.merge(&ys.iter().copied().collect());
+            let all: RunningStats = xs.iter().chain(&ys).copied().collect();
+            prop_assert_eq!(merged.count(), all.count());
+            match (merged.mean(), all.mean()) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6),
+                (a, b) => prop_assert_eq!(a, b),
+            }
+            match (merged.std_dev(), all.std_dev()) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-6),
+                (a, b) => prop_assert_eq!(a, b),
             }
         }
 

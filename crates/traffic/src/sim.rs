@@ -3,7 +3,7 @@
 use crate::road::{Direction, RoadConfig};
 use crate::vehicle::{Vehicle, VehicleId};
 use geonet_geo::Position;
-use geonet_sim::{SimTime, TraceEvent, Tracer};
+use geonet_sim::{SimTime, Telemetry, TraceEvent, Tracer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -50,6 +50,7 @@ pub struct TrafficSim {
     collisions: u64,
     elapsed: f64,
     tracer: Tracer,
+    telemetry: Telemetry,
 }
 
 impl TrafficSim {
@@ -71,6 +72,7 @@ impl TrafficSim {
             collisions: 0,
             elapsed: 0.0,
             tracer: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
         };
         sim.prefill();
         sim
@@ -197,6 +199,12 @@ impl TrafficSim {
         self.tracer = tracer;
     }
 
+    /// Attaches a telemetry handle; every [`TrafficSim::step`] is
+    /// wall-clock timed through it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     /// Removes all hazards in `direction` (the event has been cleared).
     pub fn clear_hazards(&mut self, direction: Direction) {
         self.hazards.retain(|h| h.direction != direction);
@@ -219,6 +227,7 @@ impl TrafficSim {
     /// Panics if `dt` is not finite and positive.
     pub fn step(&mut self, dt: f64) {
         assert!(dt.is_finite() && dt > 0.0, "invalid timestep: {dt}");
+        let _span = self.telemetry.time("traffic_step_ns");
         self.elapsed += dt;
 
         // Group active vehicle indices per (direction, lane), sorted by
