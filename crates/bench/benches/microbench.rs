@@ -11,7 +11,9 @@ use geonet::{
 use geonet_geo::{Area, GeoReference, Heading, Position};
 use geonet_radio::Medium;
 use geonet_scenarios::{ScenarioConfig, World};
-use geonet_sim::{shared, shared_registry, NullSink, SimDuration, SimTime, Telemetry, Tracer};
+use geonet_sim::{
+    shared, shared_registry, NullSink, SimDuration, SimTime, StateHasher, Telemetry, Tracer,
+};
 use geonet_traffic::{RoadConfig, TrafficSim};
 use std::hint::black_box;
 
@@ -175,6 +177,54 @@ fn bench_handle_frame(c: &mut Criterion) {
         router.set_telemetry(Telemetry::attached(shared_registry()));
         b.iter(|| black_box(router.handle_frame(black_box(&frame), own, SimTime::from_secs(1))));
     });
+    // Same acceptance criterion for the audit layer: the auditor samples
+    // at the world level (one `due()` branch per traffic step), so a
+    // detached auditor must leave `handle_frame` itself untouched.
+    c.bench_function("handle_frame_beacon_auditor_detached", |b| {
+        let mut router = GnRouter::new(
+            ca.enroll(GnAddress::vehicle(1)),
+            verifier.clone(),
+            cfg,
+            GeoReference::default(),
+        );
+        b.iter(|| black_box(router.handle_frame(black_box(&frame), own, SimTime::from_secs(1))));
+    });
+}
+
+fn bench_audit(c: &mut Criterion) {
+    // What one audit checkpoint pays: hashing a loaded router, and
+    // digesting the whole default world (all components).
+    let ca = CertificateAuthority::new(1);
+    let mut router = GnRouter::new(
+        ca.enroll(GnAddress::vehicle(1)),
+        ca.verifier(),
+        GnConfig::paper_default(1_283.0),
+        GeoReference::default(),
+    );
+    for i in 2..66u64 {
+        let beacon =
+            ca.enroll(GnAddress::vehicle(i)).sign(GnPacket::beacon(pv(i, i as f64 * 30.0)));
+        let frame =
+            Frame::broadcast(GnAddress::vehicle(i), Position::new(i as f64 * 30.0, 2.5), beacon);
+        router.handle_frame(&frame, Position::new(500.0, 2.5), SimTime::from_secs(1));
+    }
+    c.bench_function("audit_router_digest_64_neighbors", |b| {
+        b.iter(|| {
+            let mut h = StateHasher::new();
+            router.digest_into(&mut h);
+            black_box(h.finish())
+        });
+    });
+
+    let mut group = c.benchmark_group("audit_world");
+    group.sample_size(10);
+    group.bench_function("audit_world_checkpoint", |b| {
+        let cfg = ScenarioConfig::paper_dsrc_default().with_duration(SimDuration::from_secs(3_600));
+        let mut w = World::new(cfg, None, 42);
+        w.run_until(SimTime::from_secs(5));
+        b.iter(|| black_box(w.audit_checkpoint()));
+    });
+    group.finish();
 }
 
 fn bench_world_throughput(c: &mut Criterion) {
@@ -201,6 +251,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_wire, bench_security, bench_loct_and_gf, bench_cbf,
-              bench_handle_frame, bench_medium_and_traffic, bench_world_throughput
+              bench_handle_frame, bench_audit, bench_medium_and_traffic,
+              bench_world_throughput
 }
 criterion_main!(micro);

@@ -22,7 +22,7 @@
 use crate::security::SecuredPacket;
 use crate::types::{GnAddress, SequenceNumber};
 use geonet_geo::Position;
-use geonet_sim::{SimDuration, SimTime};
+use geonet_sim::{SimDuration, SimTime, StateHasher};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -270,6 +270,27 @@ impl CbfBuffer {
     /// long runs).
     pub fn purge_handled_before(&mut self, cutoff: SimTime) {
         self.handled.retain(|_, &mut t| t >= cutoff);
+    }
+
+    /// Folds the buffer's canonical state — the generation counter, every
+    /// contending entry (key, generation, RHL bookkeeping) and the
+    /// handled-packet ledger — into an audit digest, in key order.
+    pub fn digest_into(&self, h: &mut StateHasher) {
+        h.write_u64(self.next_generation);
+        h.write_u64(self.entries.len() as u64);
+        for (key, b) in &self.entries {
+            h.write_u64(key.source.to_u64());
+            h.write_u64(u64::from(key.sn.0));
+            h.write_u64(b.generation);
+            h.write_u8(b.first_rhl);
+            h.write_u8(b.packet.rhl());
+        }
+        h.write_u64(self.handled.len() as u64);
+        for (key, t) in &self.handled {
+            h.write_u64(key.source.to_u64());
+            h.write_u64(u64::from(key.sn.0));
+            h.write_u64(t.as_micros());
+        }
     }
 }
 

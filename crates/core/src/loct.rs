@@ -14,7 +14,7 @@
 use crate::pv::LongPositionVector;
 use crate::types::GnAddress;
 use geonet_geo::Position;
-use geonet_sim::{SimDuration, SimTime};
+use geonet_sim::{SimDuration, SimTime, StateHasher};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -112,6 +112,26 @@ impl LocationTable {
     #[must_use]
     pub fn stored_count(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Folds the table's canonical state — TTL, then every stored entry's
+    /// address, position vector, projected position and expiry, in address
+    /// order — into an audit digest.
+    pub fn digest_into(&self, h: &mut StateHasher) {
+        h.write_u64(self.ttl.as_micros());
+        h.write_u64(self.entries.len() as u64);
+        for (addr, e) in &self.entries {
+            h.write_u64(addr.to_u64());
+            h.write_u64(u64::from(e.pv.timestamp.0));
+            h.write_u64(e.pv.coord.lat as u64);
+            h.write_u64(e.pv.coord.lon as u64);
+            h.write_bool(e.pv.pai);
+            h.write_u64(e.pv.speed_cm_s as u64);
+            h.write_u64(u64::from(e.pv.heading_decideg));
+            h.write_f64(e.position.x);
+            h.write_f64(e.position.y);
+            h.write_u64(e.expires.as_micros());
+        }
     }
 }
 

@@ -18,7 +18,7 @@ use crate::types::{GnAddress, SequenceNumber};
 use crate::wire::GnPacket;
 use geonet_geo::{Area, GeoReference, Heading, Position};
 use geonet_sim::{
-    DropReason, PacketRef, SimDuration, SimRng, SimTime, Telemetry, TraceEvent, Tracer,
+    DropReason, PacketRef, SimDuration, SimRng, SimTime, StateHasher, Telemetry, TraceEvent, Tracer,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -233,6 +233,48 @@ impl GnRouter {
     #[must_use]
     pub fn cbf_buffered_count(&self) -> usize {
         self.cbf.buffered_count()
+    }
+
+    /// Folds the router's canonical forwarding state — sequence counter,
+    /// location table, CBF buffers, duplicate caches and the greedy
+    /// forwarding pending/retry books — into an audit digest. All
+    /// containers are B-tree-ordered, so the digest is a pure function of
+    /// the router's logical state.
+    pub fn digest_into(&self, h: &mut StateHasher) {
+        h.write_u64(self.addr().to_u64());
+        h.write_u64(u64::from(self.next_sn.0));
+        self.loct.digest_into(h);
+        self.cbf.digest_into(h);
+        let write_key = |h: &mut StateHasher, key: &PacketKey| {
+            h.write_u64(key.source.to_u64());
+            h.write_u64(u64::from(key.sn.0));
+        };
+        h.write_u64(self.gf_seen.len() as u64);
+        for key in &self.gf_seen {
+            write_key(h, key);
+        }
+        h.write_u64(self.gf_pending.len() as u64);
+        for (key, p) in &self.gf_pending {
+            write_key(h, key);
+            h.write_u8(p.retries_left);
+            h.write_u64(p.tried.len() as u64);
+            for a in &p.tried {
+                h.write_u64(a.to_u64());
+            }
+        }
+        h.write_u64(self.gf_buffer.len() as u64);
+        for (key, b) in &self.gf_buffer {
+            write_key(h, key);
+            h.write_u8(b.attempts_left);
+            h.write_u64(b.exclude.len() as u64);
+            for a in &b.exclude {
+                h.write_u64(a.to_u64());
+            }
+        }
+        h.write_u64(self.tsb_seen.len() as u64);
+        for key in &self.tsb_seen {
+            write_key(h, key);
+        }
     }
 
     /// Records one routing decision: folds the event into the stats

@@ -1,7 +1,7 @@
 //! The unit-disk broadcast medium.
 
 use geonet_geo::Position;
-use geonet_sim::{SimDuration, Telemetry};
+use geonet_sim::{SimDuration, StateHasher, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -90,6 +90,18 @@ impl Medium {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Folds every registered node's radio state — position, range,
+    /// activity — into an audit digest, in node-id order.
+    pub fn digest_into(&self, h: &mut StateHasher) {
+        h.write_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            h.write_f64(e.position.x);
+            h.write_f64(e.position.y);
+            h.write_f64(e.tx_range);
+            h.write_bool(e.active);
+        }
     }
 
     /// Current position of `id`.

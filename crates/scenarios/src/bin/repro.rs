@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--runs N] [--duration SECS] [--seed S] [--csv]
 //!       [--trace PREFIX] [--forensics] [--metrics PREFIX] [--profile]
+//!       [--audit PREFIX] [--audit-diff A B] [--check-invariants]
 //!       <experiment>...
 //! ```
 //!
@@ -27,8 +28,21 @@
 //! [`geonet_sim::telemetry`] registry attached. `--metrics` writes the
 //! registry to `PREFIX.metrics.prom` (Prometheus text exposition) and
 //! `PREFIX.metrics.json` (round-trippable snapshot); `--profile` prints
-//! the hot-path timer table (count, p50/p95/p99/max). With any of these
-//! four flags the experiment list may be empty.
+//! the hot-path timer table (count, p50/p95/p99/max).
+//!
+//! `--audit PREFIX` adds an *audit pass*: one baseline and one attacked
+//! inter-area interception run at the current duration and seed, each
+//! with a [`geonet_sim::audit`] recorder sampling state digests every
+//! simulated second. Digest timelines go to
+//! `PREFIX.<variant>.audit.json` and the matching event traces to
+//! `PREFIX.<variant>.trace.jsonl`. `--audit-diff A B` compares two
+//! previously written artifacts, names the first diverging checkpoint
+//! and component, and — when sibling `.trace.jsonl` files exist — prints
+//! the traced events inside the divergence window. `--check-invariants`
+//! replays the tier-1 scenario pairs with an online
+//! [`geonet_sim::InvariantChecker`] attached and fails the invocation on
+//! the first protocol-invariant violation. With any of these flags the
+//! experiment list may be empty.
 
 use geonet_attack::IntraAreaAttacker;
 use geonet_radio::RangeProfile;
@@ -39,7 +53,11 @@ use geonet_scenarios::{
     analysis, extensions, impact, interarea, intraarea, mitigation, progress, safety, AbResult,
     ScenarioConfig,
 };
-use geonet_sim::{shared, shared_registry, JsonlSink, SimDuration, TraceSink, VecSink};
+use geonet_sim::{
+    diff_artifacts, shared, shared_auditor, shared_registry, trace_window, AuditArtifact,
+    InvariantChecker, InvariantParams, JsonlSink, SharedSink, SimDuration, TraceRecord, TraceSink,
+    VecSink,
+};
 use geonet_traffic::IdmParams;
 use std::process::ExitCode;
 
@@ -52,6 +70,9 @@ struct Options {
     forensics: bool,
     metrics: Option<String>,
     profile: bool,
+    audit: Option<String>,
+    audit_diff: Option<(String, String)>,
+    check_invariants: bool,
     experiments: Vec<String>,
 }
 
@@ -74,6 +95,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
     let mut forensics = false;
     let mut metrics = None;
     let mut profile = false;
+    let mut audit = None;
+    let mut audit_diff = None;
+    let mut check_invariants = false;
     let mut experiments = Vec::new();
     let mut seen: Vec<String> = Vec::new();
     let mut args = args;
@@ -112,17 +136,31 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
                 metrics = Some(args.next().ok_or("--metrics needs a path prefix")?);
             }
             "--profile" => profile = true,
+            "--audit" => {
+                audit = Some(args.next().ok_or("--audit needs a path prefix")?);
+            }
+            "--audit-diff" => {
+                let a = args.next().ok_or("--audit-diff needs two artifact paths")?;
+                let b = args.next().ok_or("--audit-diff needs two artifact paths")?;
+                audit_diff = Some((a, b));
+            }
+            "--check-invariants" => check_invariants = true,
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--runs N] [--duration SECS] [--seed S] [--csv]\n\
                      \x20            [--trace PREFIX] [--forensics] [--metrics PREFIX]\n\
-                     \x20            [--profile] <experiment>...\n\
+                     \x20            [--profile] [--audit PREFIX] [--audit-diff A B]\n\
+                     \x20            [--check-invariants] <experiment>...\n\
                      experiments: table1 table2 fig7a fig7b fig7c fig7d fig7e fig8 fig9a fig9b\n\
                      fig9c fig9d fig9e fig9src fig10 fig12a fig12b fig13 fig14a fig14b all\n\
                      --trace PREFIX   write PREFIX.<family>.jsonl event logs (forensic pass)\n\
                      --forensics      print per-run loss attribution and busiest-node counters\n\
                      --metrics PREFIX write PREFIX.metrics.prom + PREFIX.metrics.json telemetry\n\
-                     --profile        print the hot-path wall-clock timer table"
+                     --profile        print the hot-path wall-clock timer table\n\
+                     --audit PREFIX   write PREFIX.<variant>.audit.json digest timelines plus\n\
+                     \x20                matching PREFIX.<variant>.trace.jsonl event logs\n\
+                     --audit-diff A B compare two audit artifacts; exit nonzero on divergence\n\
+                     --check-invariants  replay tier-1 scenarios with the invariant checker"
                 );
                 std::process::exit(0);
             }
@@ -130,7 +168,15 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
             other => experiments.push(other.to_string()),
         }
     }
-    if experiments.is_empty() && trace.is_none() && !forensics && metrics.is_none() && !profile {
+    if experiments.is_empty()
+        && trace.is_none()
+        && !forensics
+        && metrics.is_none()
+        && !profile
+        && audit.is_none()
+        && audit_diff.is_none()
+        && !check_invariants
+    {
         return Err("no experiments given (try `repro --help`)".into());
     }
     if experiments.iter().any(|e| e == "all") {
@@ -143,7 +189,19 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
         .map(|s| (*s).to_string())
         .collect();
     }
-    Ok(Options { scale, seed, csv, trace, forensics, metrics, profile, experiments })
+    Ok(Options {
+        scale,
+        seed,
+        csv,
+        trace,
+        forensics,
+        metrics,
+        profile,
+        audit,
+        audit_diff,
+        check_invariants,
+        experiments,
+    })
 }
 
 /// One traced, attacked run per attack family: JSONL dumps for
@@ -282,6 +340,141 @@ fn telemetry_pass(opts: &Options) -> Result<(), String> {
             );
         }
         println!();
+    }
+    Ok(())
+}
+
+/// Two audited inter-area interception runs — baseline and attacked —
+/// at the current duration and seed: digest timelines to
+/// `PREFIX.<variant>.audit.json`, matching event traces to
+/// `PREFIX.<variant>.trace.jsonl` (what `--audit-diff` joins against).
+fn audit_pass(opts: &Options, prefix: &str) -> Result<(), String> {
+    let cfg = ScenarioConfig::paper_dsrc_default()
+        .with_attack_range(486.0)
+        .with_duration(SimDuration::from_secs(opts.scale.duration_s));
+    for (variant, attacked) in [("baseline", false), ("attacked", true)] {
+        let sink = shared(VecSink::new());
+        let auditor = shared_auditor(SimDuration::from_secs(1));
+        let trace_sink: SharedSink = sink.clone();
+        let _ = interarea::run_one_audited(
+            &cfg,
+            attacked,
+            opts.seed,
+            Some(trace_sink),
+            auditor.clone(),
+        );
+        let artifact = auditor.borrow().to_artifact();
+        let audit_path = format!("{prefix}.{variant}.audit.json");
+        std::fs::write(&audit_path, artifact.to_json())
+            .map_err(|e| format!("--audit {audit_path}: {e}"))?;
+        let records = sink.borrow().records().to_vec();
+        let trace_path = format!("{prefix}.{variant}.trace.jsonl");
+        let file =
+            std::fs::File::create(&trace_path).map_err(|e| format!("--audit {trace_path}: {e}"))?;
+        let mut jsonl = JsonlSink::new(std::io::BufWriter::new(file));
+        for r in &records {
+            jsonl.record(r.at, r.node, &r.event);
+        }
+        jsonl.into_inner().map_err(|e| format!("--audit {trace_path}: {e}"))?;
+        eprintln!(
+            "# audit: {} checkpoints -> {audit_path}, {} events -> {trace_path}",
+            artifact.checkpoints.len(),
+            records.len()
+        );
+    }
+    Ok(())
+}
+
+/// The `.trace.jsonl` written next to an `.audit.json` by `audit_pass`,
+/// if the path follows that naming convention.
+fn sibling_trace(audit_path: &str) -> Option<String> {
+    audit_path.strip_suffix(".audit.json").map(|stem| format!("{stem}.trace.jsonl"))
+}
+
+/// How many trace-window events `--audit-diff` prints per side before
+/// eliding the rest.
+const TRACE_WINDOW_PREVIEW: usize = 20;
+
+/// Loads two digest timelines, reports the first divergence, and — when
+/// sibling `.trace.jsonl` files exist next to the artifacts — prints the
+/// traced events inside the divergence window. Returns whether the
+/// timelines are identical.
+fn audit_diff_pass(a_path: &str, b_path: &str) -> Result<bool, String> {
+    let load = |path: &str| -> Result<AuditArtifact, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("--audit-diff {path}: {e}"))?;
+        AuditArtifact::from_json(&text).map_err(|e| format!("--audit-diff {path}: {e}"))
+    };
+    let (a, b) = (load(a_path)?, load(b_path)?);
+    let report = diff_artifacts(&a, &b);
+    println!("Audit diff — A = {a_path}, B = {b_path}");
+    print!("{report}");
+    if let Some(d) = &report.first_divergence {
+        for (label, path) in [("A", a_path), ("B", b_path)] {
+            let Some(trace_path) = sibling_trace(path) else { continue };
+            let Ok(text) = std::fs::read_to_string(&trace_path) else { continue };
+            let mut records = Vec::new();
+            for (i, line) in text.lines().enumerate() {
+                if line.is_empty() {
+                    continue;
+                }
+                records.push(
+                    TraceRecord::from_json(line)
+                        .map_err(|e| format!("{}:{}: {e}", trace_path, i + 1))?,
+                );
+            }
+            let hits: Vec<&TraceRecord> = trace_window(&records, d.window_start, d.at).collect();
+            println!("{label} trace window — {} event(s) from {trace_path}:", hits.len());
+            for r in hits.iter().take(TRACE_WINDOW_PREVIEW) {
+                println!("  t={} µs node {} {:?}", r.at.as_micros(), r.node, r.event);
+            }
+            if hits.len() > TRACE_WINDOW_PREVIEW {
+                println!("  ... {} more elided", hits.len() - TRACE_WINDOW_PREVIEW);
+            }
+        }
+    }
+    Ok(report.identical())
+}
+
+/// Replays the tier-1 scenario pairs (interception and blockage,
+/// baseline and attacked) with an online invariant checker attached;
+/// fails the invocation citing the first offending event.
+fn check_invariants_pass(opts: &Options) -> Result<(), String> {
+    let cfg = ScenarioConfig::paper_dsrc_default()
+        .with_duration(SimDuration::from_secs(opts.scale.duration_s));
+    let params =
+        InvariantParams { to_min: cfg.gn.to_min, to_max: cfg.gn.to_max, loct_ttl: cfg.gn.loct_ttl };
+    println!("Invariant check — seed {}, {} s sim", opts.seed, opts.scale.duration_s);
+    let mut failed = false;
+    for family in ["interarea", "intraarea"] {
+        for attacked in [false, true] {
+            let checker = shared(InvariantChecker::new(params));
+            match family {
+                "interarea" => {
+                    let _ = interarea::run_one_traced(
+                        &cfg.with_attack_range(486.0),
+                        attacked,
+                        opts.seed,
+                        checker.clone(),
+                    );
+                }
+                _ => {
+                    let _ = intraarea::run_one_traced(
+                        &cfg.with_attack_range(500.0),
+                        attacked,
+                        opts.seed,
+                        checker.clone(),
+                    );
+                }
+            }
+            let c = checker.borrow();
+            let variant = if attacked { "attacked" } else { "baseline" };
+            println!("  {family:<9} {variant:<8} {}", c.summary());
+            failed |= !c.ok();
+        }
+    }
+    if failed {
+        return Err("invariant violations found (see above)".into());
     }
     Ok(())
 }
@@ -591,6 +784,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(prefix) = &opts.audit {
+        if let Err(e) = audit_pass(&opts, prefix) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some((a, b)) = &opts.audit_diff {
+        match audit_diff_pass(a, b) {
+            Ok(true) => {}
+            Ok(false) => return ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if opts.check_invariants {
+        if let Err(e) = check_invariants_pass(&opts) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -647,6 +862,32 @@ mod tests {
         assert!(o.experiments.is_empty());
         let o = parse(&["--profile"]).expect("profile alone is valid");
         assert!(o.profile);
+    }
+
+    #[test]
+    fn audit_flags_allow_empty_experiments() {
+        let o = parse(&["--audit", "/tmp/run"]).expect("audit alone is valid");
+        assert_eq!(o.audit.as_deref(), Some("/tmp/run"));
+        assert!(o.experiments.is_empty());
+        let o = parse(&["--check-invariants"]).expect("check-invariants alone is valid");
+        assert!(o.check_invariants);
+    }
+
+    #[test]
+    fn audit_diff_takes_two_paths() {
+        let o = parse(&["--audit-diff", "a.audit.json", "b.audit.json"]).expect("valid");
+        assert_eq!(o.audit_diff, Some(("a.audit.json".to_string(), "b.audit.json".to_string())));
+        let err = parse(&["--audit-diff", "a.audit.json"]).unwrap_err();
+        assert!(err.contains("--audit-diff"), "got: {err}");
+    }
+
+    #[test]
+    fn sibling_trace_follows_naming_convention() {
+        assert_eq!(
+            sibling_trace("/tmp/run.baseline.audit.json").as_deref(),
+            Some("/tmp/run.baseline.trace.jsonl")
+        );
+        assert_eq!(sibling_trace("/tmp/other.json"), None);
     }
 
     #[test]

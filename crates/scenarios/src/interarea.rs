@@ -14,7 +14,7 @@ use crate::report::AbResult;
 use crate::world::World;
 use geonet_geo::{Area, Position};
 use geonet_radio::{AccessTechnology, NodeId, RangeProfile};
-use geonet_sim::{SharedRegistry, SharedSink, SimDuration, SimTime, TimeBins};
+use geonet_sim::{SharedAuditor, SharedRegistry, SharedSink, SimDuration, SimTime, TimeBins};
 
 /// Runs one seeded simulation and returns the per-bin reception counts of
 /// vulnerable packets at the destinations.
@@ -46,7 +46,7 @@ pub fn run_one_metered(
     seed: u64,
     registry: SharedRegistry,
 ) -> (TimeBins, u64) {
-    let (bins, _, _, events) = run_one_full(cfg, attacked, seed, None, Some(registry));
+    let (bins, _, _, events) = run_one_full(cfg, attacked, seed, None, Some(registry), None);
     (bins, events)
 }
 
@@ -58,6 +58,32 @@ pub fn run_one_with_load(cfg: &ScenarioConfig, attacked: bool, seed: u64) -> (Ti
     run_one_inner(cfg, attacked, seed, None, None)
 }
 
+/// Like [`run_one`], with an audit recorder attached: the world samples a
+/// state-digest checkpoint at the recorder's interval, and the recorder's
+/// run metadata is stamped with the scenario parameters so a serialized
+/// artifact is self-describing. An optional trace sink may be attached
+/// too, so a divergence window reported by
+/// [`geonet_sim::diff_artifacts`] can be joined against the same run's
+/// trace.
+#[must_use]
+pub fn run_one_audited(
+    cfg: &ScenarioConfig,
+    attacked: bool,
+    seed: u64,
+    sink: Option<SharedSink>,
+    auditor: SharedAuditor,
+) -> TimeBins {
+    {
+        let mut rec = auditor.borrow_mut();
+        rec.set_meta("scenario", "interarea");
+        rec.set_meta("seed", seed.to_string());
+        rec.set_meta("attacked", attacked.to_string());
+        rec.set_meta("duration_s", cfg.duration.as_secs().to_string());
+        rec.set_meta("attack_range_m", format!("{:.1}", cfg.attack_range));
+    }
+    run_one_full(cfg, attacked, seed, sink, None, Some(auditor)).0
+}
+
 fn run_one_inner(
     cfg: &ScenarioConfig,
     attacked: bool,
@@ -65,7 +91,7 @@ fn run_one_inner(
     sink: Option<SharedSink>,
     registry: Option<SharedRegistry>,
 ) -> (TimeBins, u64, u64) {
-    let (bins, frames, bytes, _) = run_one_full(cfg, attacked, seed, sink, registry);
+    let (bins, frames, bytes, _) = run_one_full(cfg, attacked, seed, sink, registry, None);
     (bins, frames, bytes)
 }
 
@@ -75,6 +101,7 @@ fn run_one_full(
     seed: u64,
     sink: Option<SharedSink>,
     registry: Option<SharedRegistry>,
+    auditor: Option<SharedAuditor>,
 ) -> (TimeBins, u64, u64, u64) {
     let started = progress::run_started();
     let duration_s = cfg.duration.as_secs();
@@ -88,6 +115,9 @@ fn run_one_full(
     }
     if let Some(registry) = registry {
         w.set_telemetry(registry);
+    }
+    if let Some(auditor) = auditor {
+        w.set_auditor(auditor);
     }
     let length = cfg.road.length;
     // Static destinations 20 m beyond each end (paper §IV-A), with small

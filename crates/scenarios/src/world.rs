@@ -6,8 +6,8 @@ use geonet_attack::{InterAreaAttacker, IntraAreaAttacker};
 use geonet_geo::{Area, GeoReference, Heading, Position};
 use geonet_radio::{Medium, NodeId};
 use geonet_sim::{
-    Kernel, PacketRef, SharedRegistry, SharedSink, SimDuration, SimRng, SimTime, Telemetry,
-    TraceEvent, Tracer,
+    Auditor, Checkpoint, Kernel, PacketRef, SharedAuditor, SharedRegistry, SharedSink, SimDuration,
+    SimRng, SimTime, StateHasher, Telemetry, TraceEvent, Tracer, UnorderedDigest,
 };
 use geonet_traffic::{Direction, TrafficSim, VehicleId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -76,6 +76,7 @@ pub struct World {
     bytes_on_air: u64,
     tracer: Tracer,
     telemetry: Telemetry,
+    auditor: Auditor,
     /// Traffic steps seen since telemetry was attached (drives the
     /// periodic state-depth sampling cadence).
     telemetry_steps: u32,
@@ -118,6 +119,7 @@ impl World {
             bytes_on_air: 0,
             tracer: Tracer::disabled(),
             telemetry: Telemetry::disabled(),
+            auditor: Auditor::disabled(),
             telemetry_steps: 0,
             cfg,
         };
@@ -225,6 +227,92 @@ impl World {
         }
         self.medium.set_telemetry(self.telemetry.clone());
         self.traffic.set_telemetry(self.telemetry.clone());
+    }
+
+    /// Attaches an audit recorder; the world samples a state-digest
+    /// checkpoint into it whenever one falls due (checked once per
+    /// traffic step against the recorder's sim-time interval). Like
+    /// [`World::set_telemetry`], the default is
+    /// [`Auditor::disabled`], in which case the per-step check is a
+    /// single branch and no state is ever digested.
+    pub fn set_auditor(&mut self, recorder: SharedAuditor) {
+        self.auditor = Auditor::attached(recorder);
+    }
+
+    /// Digests the world's complete canonical state into one checkpoint:
+    /// the event queue, every RNG stream position, every router's
+    /// forwarding state, the radio medium, the traffic simulation and
+    /// the delivery ledger. Expensive — the auditing cadence, not the
+    /// event loop, decides when to call this.
+    #[must_use]
+    pub fn audit_checkpoint(&self) -> Checkpoint {
+        let mut b = Checkpoint::builder(self.kernel.now());
+
+        // Pending events live in a heap whose layout is unspecified, so
+        // their (time, seq) keys go through an order-independent combiner.
+        let mut h = StateHasher::new();
+        h.write_u64(self.kernel.events_processed());
+        let mut q = UnorderedDigest::new();
+        for (t, seq) in self.kernel.pending_keys() {
+            let mut eh = StateHasher::new();
+            eh.write_u64(t.as_micros());
+            eh.write_u64(seq);
+            q.absorb(eh.finish());
+        }
+        q.fold_into(&mut h);
+        b.push("event_queue", h.finish());
+
+        let mut h = StateHasher::new();
+        h.write_u64(self.rngs.len() as u64);
+        for rng in &self.rngs {
+            h.write_u64(rng.draw_count());
+        }
+        h.write_u64(self.workload_rng.draw_count());
+        h.write_u64(self.loss_rng.draw_count());
+        h.write_u64(self.root_rng.draw_count());
+        b.push("rng", h.finish());
+
+        let mut h = StateHasher::new();
+        h.write_u64(self.routers.len() as u64);
+        for router in &self.routers {
+            match router {
+                Some(r) => {
+                    h.write_bool(true);
+                    r.digest_into(&mut h);
+                }
+                None => h.write_bool(false),
+            }
+        }
+        b.push("routers", h.finish());
+
+        let mut h = StateHasher::new();
+        self.medium.digest_into(&mut h);
+        b.push("medium", h.finish());
+
+        let mut h = StateHasher::new();
+        self.traffic.digest_into(&mut h);
+        b.push("traffic", h.finish());
+
+        let mut h = StateHasher::new();
+        h.write_u64(self.received.len() as u64);
+        for (key, nodes) in &self.received {
+            h.write_u64(key.source.to_u64());
+            h.write_u64(u64::from(key.sn.0));
+            h.write_u64(nodes.len() as u64);
+            for n in nodes {
+                h.write_u64(u64::from(n.0));
+            }
+        }
+        b.push("delivery", h.finish());
+
+        b.finish()
+    }
+
+    /// Records an audit checkpoint if one is due (no-op when disabled).
+    fn sample_audit(&mut self) {
+        if self.auditor.due(self.kernel.now()) {
+            self.auditor.record(self.audit_checkpoint());
+        }
     }
 
     /// Total events the kernel has dispatched — the numerator of the
@@ -556,6 +644,7 @@ impl World {
         }
         self.kernel.schedule_in(SimDuration::from_secs_f64(self.cfg.traffic_dt), Ev::TrafficStep);
         self.sample_telemetry();
+        self.sample_audit();
     }
 
     /// Samples internal state depths into the attached registry: the

@@ -1,0 +1,132 @@
+//! Integration tests of the audit chain: digest timelines recorded from
+//! real scenario runs, artifact round-trips, divergence diffing, and the
+//! online invariant checker over real traces.
+
+use geonet_scenarios::{interarea, intraarea, ScenarioConfig};
+use geonet_sim::{
+    diff_artifacts, shared, shared_auditor, AuditArtifact, InvariantChecker, InvariantParams,
+    SimDuration, TraceEvent, TraceSink, VecSink,
+};
+
+/// A short but non-trivial scenario: long enough for beacons, GF
+/// forwarding and CBF contention to all fire.
+fn short_cfg() -> ScenarioConfig {
+    ScenarioConfig::paper_dsrc_default().with_duration(SimDuration::from_secs(5))
+}
+
+fn params(cfg: &ScenarioConfig) -> InvariantParams {
+    InvariantParams { to_min: cfg.gn.to_min, to_max: cfg.gn.to_max, loct_ttl: cfg.gn.loct_ttl }
+}
+
+fn audited_artifact(cfg: &ScenarioConfig, attacked: bool, seed: u64) -> AuditArtifact {
+    let auditor = shared_auditor(SimDuration::from_secs(1));
+    let _ = interarea::run_one_audited(cfg, attacked, seed, None, auditor.clone());
+    let artifact = auditor.borrow().to_artifact();
+    assert!(!artifact.checkpoints.is_empty(), "a 5 s run must produce checkpoints");
+    artifact
+}
+
+/// The determinism acceptance test: two attacked runs with the same seed
+/// serialize to byte-identical artifacts, and the diff agrees.
+#[test]
+fn same_seed_audited_runs_are_byte_identical() {
+    let cfg = short_cfg().with_attack_range(486.0);
+    let a = audited_artifact(&cfg, true, 42);
+    let b = audited_artifact(&cfg, true, 42);
+    assert_eq!(a.to_json(), b.to_json(), "same seed must give byte-identical artifacts");
+    let report = diff_artifacts(&a, &b);
+    assert!(report.identical(), "diff must agree: {report}");
+}
+
+/// Different seeds must diverge — the digests actually depend on run
+/// state rather than hashing constants.
+#[test]
+fn different_seeds_diverge() {
+    let cfg = short_cfg().with_attack_range(486.0);
+    let a = audited_artifact(&cfg, true, 42);
+    let b = audited_artifact(&cfg, true, 43);
+    assert!(!diff_artifacts(&a, &b).identical(), "different seeds must diverge");
+}
+
+/// The forensic acceptance test: a baseline-vs-attacked pair reports a
+/// first diverging checkpoint with named components and a join window.
+#[test]
+fn baseline_vs_attacked_diff_names_checkpoint_and_components() {
+    let cfg = short_cfg().with_attack_range(486.0);
+    let baseline = audited_artifact(&cfg, false, 42);
+    let attacked = audited_artifact(&cfg, true, 42);
+    let report = diff_artifacts(&baseline, &attacked);
+    assert!(!report.identical());
+    assert!(
+        report.meta_differences.iter().any(|(k, _, _)| k == "attacked"),
+        "the attacked flag must show up as a metadata difference"
+    );
+    let d = report.first_divergence.clone().expect("an attacked run must diverge from baseline");
+    assert!(!d.components.is_empty(), "the diverging components must be named");
+    assert!(d.window_start < d.at, "the join window must be non-empty");
+    let text = report.to_string();
+    assert!(text.contains("DIVERGENCE at checkpoint"), "got: {text}");
+}
+
+/// Artifacts survive the serialize → parse round trip with metadata and
+/// digests intact.
+#[test]
+fn artifact_round_trips_through_json() {
+    let cfg = short_cfg().with_attack_range(486.0);
+    let a = audited_artifact(&cfg, true, 42);
+    let parsed = AuditArtifact::from_json(&a.to_json()).expect("own output must parse");
+    assert_eq!(parsed.meta.get("scenario").map(String::as_str), Some("interarea"));
+    assert!(diff_artifacts(&a, &parsed).identical());
+}
+
+/// Every shipped tier-1 scenario — both families, baseline and attacked
+/// — satisfies the forwarding invariants.
+#[test]
+fn invariant_checker_passes_on_shipped_scenarios() {
+    let cfg = short_cfg();
+    for attacked in [false, true] {
+        let checker = shared(InvariantChecker::new(params(&cfg)));
+        let _ =
+            interarea::run_one_traced(&cfg.with_attack_range(486.0), attacked, 42, checker.clone());
+        let c = checker.borrow();
+        assert!(c.ok(), "interarea attacked={attacked}: {}", c.summary());
+        assert!(c.events_checked() > 0);
+    }
+    for attacked in [false, true] {
+        let checker = shared(InvariantChecker::new(params(&cfg)));
+        let _ =
+            intraarea::run_one_traced(&cfg.with_attack_range(500.0), attacked, 42, checker.clone());
+        let c = checker.borrow();
+        assert!(c.ok(), "intraarea attacked={attacked}: {}", c.summary());
+        assert!(c.events_checked() > 0);
+    }
+}
+
+/// The injection acceptance test: replaying a real run's trace passes,
+/// but re-injecting one of its CBF fires — a duplicate forward — is
+/// caught with the offending event's index cited.
+#[test]
+fn injected_duplicate_forward_is_caught() {
+    let cfg = short_cfg().with_attack_range(500.0);
+    let sink = shared(VecSink::new());
+    let _ = intraarea::run_one_traced(&cfg, true, 42, sink.clone());
+    let records = sink.borrow().records().to_vec();
+    let fired = records
+        .iter()
+        .find(|r| matches!(r.event, TraceEvent::CbfFired { .. }))
+        .expect("the blockage scenario exercises CBF")
+        .clone();
+
+    let mut checker = InvariantChecker::new(params(&cfg));
+    for r in &records {
+        checker.record(r.at, r.node, &r.event);
+    }
+    assert!(checker.ok(), "the clean trace must pass: {}", checker.summary());
+
+    checker.record(fired.at, fired.node, &fired.event);
+    let v = checker.first_violation().expect("the duplicate forward must be flagged");
+    assert_eq!(v.rule, "no-reforward");
+    assert_eq!(v.event_index, records.len() as u64, "the injected event must be the one cited");
+    assert_eq!(v.node, fired.node);
+    assert!(v.detail.contains("duplicate forward"), "got: {}", v.detail);
+}

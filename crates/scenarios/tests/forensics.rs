@@ -122,3 +122,146 @@ fn interception_world_run_attributes_losses_to_phantom_next_hops() {
         + report.unresolved;
     assert_eq!(buckets, report.total);
 }
+
+/// Property tests: every `TraceEvent` variant — and with it every
+/// `DropReason` and `AttackKind` — survives the JSONL serialize → parse
+/// round trip unchanged, for arbitrary field values.
+mod jsonl_roundtrip {
+    use super::*;
+    use geonet_sim::{AttackKind, DropReason};
+    use proptest::prelude::*;
+
+    fn arb_packet() -> impl Strategy<Value = PacketRef> {
+        (any::<u64>(), any::<u16>()).prop_map(|(source, sn)| PacketRef::new(source, sn))
+    }
+
+    fn arb_drop_reason() -> impl Strategy<Value = DropReason> {
+        prop::sample::select(DropReason::ALL.to_vec())
+    }
+
+    fn arb_attack_kind() -> impl Strategy<Value = AttackKind> {
+        prop::sample::select(vec![
+            AttackKind::InterceptionCapture,
+            AttackKind::InterceptionReplay,
+            AttackKind::BlockageReplay,
+        ])
+    }
+
+    /// Road coordinates are finite by construction (`format_f64` asserts
+    /// it), so the strategy draws from a finite range.
+    fn arb_coord() -> impl Strategy<Value = f64> {
+        -1.0e9..1.0e9_f64
+    }
+
+    /// One strategy arm per `TraceEvent` variant; adding a variant
+    /// without extending this list fails the exhaustiveness check in
+    /// `every_variant_is_covered`.
+    fn arb_event() -> impl Strategy<Value = TraceEvent> {
+        prop_oneof![
+            arb_packet().prop_map(|packet| TraceEvent::Originated { packet }),
+            any::<u64>().prop_map(|from| TraceEvent::BeaconAccepted { from }),
+            (prop::option::of(arb_packet()), prop::option::of(any::<u64>()), any::<bool>())
+                .prop_map(|(packet, dst, beacon)| TraceEvent::FrameTx { packet, dst, beacon }),
+            (prop::option::of(arb_packet()), any::<u64>(), any::<bool>())
+                .prop_map(|(packet, from, beacon)| TraceEvent::FrameRx { packet, from, beacon }),
+            (prop::option::of(arb_packet()), any::<u64>())
+                .prop_map(|(packet, from)| TraceEvent::FrameLost { packet, from }),
+            arb_packet().prop_map(|packet| TraceEvent::Delivered { packet }),
+            arb_packet().prop_map(|packet| TraceEvent::DuplicateDiscarded { packet }),
+            (arb_packet(), any::<u64>())
+                .prop_map(|(packet, delay_us)| TraceEvent::CbfArmed { packet, delay_us }),
+            (arb_packet(), any::<u64>())
+                .prop_map(|(packet, by)| TraceEvent::CbfCancelled { packet, by }),
+            arb_packet().prop_map(|packet| TraceEvent::CbfFired { packet }),
+            (arb_packet(), any::<u64>())
+                .prop_map(|(packet, by)| TraceEvent::CbfMitigationRejected { packet, by }),
+            (arb_packet(), any::<u64>())
+                .prop_map(|(packet, next_hop)| TraceEvent::GfNextHop { packet, next_hop }),
+            arb_packet().prop_map(|packet| TraceEvent::GfFallback { packet }),
+            (arb_packet(), any::<u32>())
+                .prop_map(|(packet, attempt)| TraceEvent::GfBuffered { packet, attempt }),
+            (arb_packet(), any::<u32>())
+                .prop_map(|(packet, attempt)| TraceEvent::GfAckRetry { packet, attempt }),
+            (arb_packet(), arb_drop_reason())
+                .prop_map(|(packet, reason)| TraceEvent::Dropped { packet, reason }),
+            (arb_attack_kind(), prop::option::of(arb_packet()))
+                .prop_map(|(kind, packet)| TraceEvent::AttackAction { kind, packet }),
+            arb_coord().prop_map(|x| TraceEvent::HazardOnset { x }),
+            arb_coord().prop_map(|x| TraceEvent::Collision { x }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn every_event_round_trips_through_jsonl(
+            at_us in 0u64..1_000_000_000_000,
+            node in any::<u32>(),
+            event in arb_event(),
+        ) {
+            let record = TraceRecord { at: SimTime::from_micros(at_us), node, event };
+            let line = record.to_json();
+            prop_assert!(!line.contains('\n'), "JSONL lines must be single-line");
+            let parsed = TraceRecord::from_json(&line)
+                .map_err(|e| TestCaseError::fail(format!("{e}: {line}")))?;
+            prop_assert_eq!(parsed, record);
+        }
+    }
+
+    /// The strategy above must keep covering the whole enum: exercise
+    /// one concrete value of every variant through the round trip.
+    #[test]
+    fn every_variant_is_covered() {
+        let p = PacketRef::new(0xAC0_0001, 7);
+        let events = [
+            TraceEvent::Originated { packet: p },
+            TraceEvent::BeaconAccepted { from: 1 },
+            TraceEvent::FrameTx { packet: Some(p), dst: Some(2), beacon: false },
+            TraceEvent::FrameRx { packet: None, from: 3, beacon: true },
+            TraceEvent::FrameLost { packet: Some(p), from: 4 },
+            TraceEvent::Delivered { packet: p },
+            TraceEvent::DuplicateDiscarded { packet: p },
+            TraceEvent::CbfArmed { packet: p, delay_us: 50_000 },
+            TraceEvent::CbfCancelled { packet: p, by: 5 },
+            TraceEvent::CbfFired { packet: p },
+            TraceEvent::CbfMitigationRejected { packet: p, by: 6 },
+            TraceEvent::GfNextHop { packet: p, next_hop: 8 },
+            TraceEvent::GfFallback { packet: p },
+            TraceEvent::GfBuffered { packet: p, attempt: 1 },
+            TraceEvent::GfAckRetry { packet: p, attempt: 2 },
+            TraceEvent::Dropped { packet: p, reason: geonet_sim::DropReason::NoNextHop },
+            TraceEvent::AttackAction {
+                kind: geonet_sim::AttackKind::BlockageReplay,
+                packet: Some(p),
+            },
+            TraceEvent::HazardOnset { x: 1_234.5 },
+            TraceEvent::Collision { x: -0.5 },
+        ];
+        for event in events {
+            // Compile-time exhaustiveness: a new variant breaks this match.
+            match &event {
+                TraceEvent::Originated { .. }
+                | TraceEvent::BeaconAccepted { .. }
+                | TraceEvent::FrameTx { .. }
+                | TraceEvent::FrameRx { .. }
+                | TraceEvent::FrameLost { .. }
+                | TraceEvent::Delivered { .. }
+                | TraceEvent::DuplicateDiscarded { .. }
+                | TraceEvent::CbfArmed { .. }
+                | TraceEvent::CbfCancelled { .. }
+                | TraceEvent::CbfFired { .. }
+                | TraceEvent::CbfMitigationRejected { .. }
+                | TraceEvent::GfNextHop { .. }
+                | TraceEvent::GfFallback { .. }
+                | TraceEvent::GfBuffered { .. }
+                | TraceEvent::GfAckRetry { .. }
+                | TraceEvent::Dropped { .. }
+                | TraceEvent::AttackAction { .. }
+                | TraceEvent::HazardOnset { .. }
+                | TraceEvent::Collision { .. } => {}
+            }
+            let record = TraceRecord { at: SimTime::from_secs(1), node: 9, event };
+            let parsed = TraceRecord::from_json(&record.to_json()).expect("round trip");
+            assert_eq!(parsed, record);
+        }
+    }
+}

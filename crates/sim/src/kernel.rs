@@ -82,6 +82,13 @@ impl<E> Kernel<E> {
         self.queue.len()
     }
 
+    /// The `(time, insertion sequence)` keys of all pending events, in
+    /// unspecified order — input to the audit layer's event-queue digest
+    /// (see [`EventQueue::pending_keys`]).
+    pub fn pending_keys(&self) -> impl Iterator<Item = (SimTime, u64)> + '_ {
+        self.queue.pending_keys()
+    }
+
     /// Schedules `event` at the absolute time `at`.
     ///
     /// # Panics

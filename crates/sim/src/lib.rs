@@ -18,6 +18,11 @@
 //!   log-bucketed histograms with scoped wall-clock timers and
 //!   Prometheus/JSON exporters, behind a zero-cost-when-disabled
 //!   [`Telemetry`] handle.
+//! * [`audit`] — deterministic run auditing: per-component state digests
+//!   on a checkpoint timeline, `.audit.json` artifacts with first-
+//!   divergence diffing, and an online [`InvariantChecker`] for the
+//!   EN 302 636-4-1 forwarding rules, behind a zero-cost-when-disabled
+//!   [`Auditor`] handle.
 //!
 //! # Example
 //!
@@ -37,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod kernel;
 pub mod metrics;
 pub mod queue;
@@ -45,6 +51,11 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 
+pub use audit::{
+    diff_artifacts, shared_auditor, trace_window, AuditArtifact, AuditRecorder, Auditor,
+    Checkpoint, CheckpointBuilder, ComponentDigest, Divergence, DivergenceReport, InvariantChecker,
+    InvariantParams, SharedAuditor, StateHasher, UnorderedDigest, Violation,
+};
 pub use kernel::Kernel;
 pub use metrics::{AbComparison, RunningStats, TimeBins};
 pub use queue::EventQueue;

@@ -89,6 +89,14 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// The `(time, insertion sequence)` keys of every pending event, in
+    /// unspecified order (the heap's internal layout). The audit layer
+    /// folds these through an order-independent combiner to digest the
+    /// queue's contents without draining it.
+    pub fn pending_keys(&self) -> impl Iterator<Item = (SimTime, u64)> + '_ {
+        self.heap.iter().map(|s| (s.time, s.seq))
+    }
+
     /// Returns `true` if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {

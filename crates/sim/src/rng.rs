@@ -34,24 +34,38 @@ fn splitmix64(mut z: u64) -> u64 {
 pub struct SimRng {
     inner: StdRng,
     base: u64,
+    /// Logical stream position: how many words this stream has produced.
+    draws: u64,
 }
 
 impl SimRng {
     /// Creates the root random source for a run.
     #[must_use]
     pub fn seed(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(splitmix64(seed)), base: seed }
+        SimRng { inner: StdRng::seed_from_u64(splitmix64(seed)), base: seed, draws: 0 }
     }
 
     /// Derives an independent stream identified by `stream`.
     ///
     /// Splitting is a pure function of the *original* seed and the stream
     /// id — it does not consume state from `self` — so the set of streams a
-    /// simulation uses can grow without reordering anyone's draws.
+    /// simulation uses can grow without reordering anyone's draws. The new
+    /// stream's [`SimRng::draw_count`] starts at zero.
     #[must_use]
     pub fn split(&self, stream: u64) -> SimRng {
         let sub = splitmix64(self.base ^ splitmix64(stream.wrapping_add(0xA5A5_A5A5)));
-        SimRng { inner: StdRng::seed_from_u64(sub), base: sub }
+        SimRng { inner: StdRng::seed_from_u64(sub), base: sub, draws: 0 }
+    }
+
+    /// The stream position: how many words have been drawn from this
+    /// stream so far. A deterministic function of the request sequence
+    /// (each `next_u32`/`next_u64` counts one; `fill_bytes` counts one
+    /// per started 8-byte word), so two identically-seeded simulations
+    /// that made the same requests report the same count — the audit
+    /// layer digests this instead of cloning the generator.
+    #[must_use]
+    pub fn draw_count(&self) -> u64 {
+        self.draws
     }
 
     /// Uniform draw in `[low, high)`.
@@ -61,7 +75,7 @@ impl SimRng {
     /// Panics if `low >= high`.
     pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
         assert!(low < high, "empty uniform range [{low}, {high})");
-        self.inner.gen_range(low..high)
+        Rng::gen_range(self, low..high)
     }
 
     /// Uniform integer draw in `[0, n)`.
@@ -71,7 +85,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is empty");
-        self.inner.gen_range(0..n)
+        Rng::gen_range(self, 0..n)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -81,22 +95,26 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            Rng::gen_bool(self, p)
         }
     }
 }
 
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
+        self.draws += 1;
         self.inner.next_u32()
     }
     fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
         self.inner.next_u64()
     }
     fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.draws += (dest.len() as u64).div_ceil(8);
         self.inner.fill_bytes(dest);
     }
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.draws += (dest.len() as u64).div_ceil(8);
         self.inner.try_fill_bytes(dest)
     }
 }
@@ -178,6 +196,65 @@ mod tests {
     fn uniform_rejects_empty_range() {
         let mut r = SimRng::seed(6);
         let _ = r.uniform(1.0, 1.0);
+    }
+
+    #[test]
+    fn draw_count_starts_at_zero_and_advances() {
+        let mut r = SimRng::seed(11);
+        assert_eq!(r.draw_count(), 0);
+        let _ = r.next_u64();
+        assert_eq!(r.draw_count(), 1);
+        let _ = r.next_u32();
+        assert_eq!(r.draw_count(), 2);
+        let mut buf = [0u8; 20];
+        r.fill_bytes(&mut buf); // 20 bytes = 3 started 8-byte words
+        assert_eq!(r.draw_count(), 5);
+        r.fill_bytes(&mut []);
+        assert_eq!(r.draw_count(), 5, "empty fill draws nothing");
+        let s = r.split(1);
+        assert_eq!(s.draw_count(), 0, "fresh streams start at zero");
+        assert_eq!(r.draw_count(), 5, "splitting consumes no draws");
+    }
+
+    #[test]
+    fn draw_count_covers_convenience_draws() {
+        let mut r = SimRng::seed(12);
+        let _ = r.uniform(0.0, 1.0);
+        let after_uniform = r.draw_count();
+        assert!(after_uniform > 0, "uniform must advance the stream position");
+        let _ = r.below(17);
+        assert!(r.draw_count() > after_uniform);
+        let before = r.draw_count();
+        let _ = r.chance(0.5);
+        assert!(r.draw_count() > before);
+    }
+
+    #[test]
+    fn identically_seeded_kernels_report_identical_draw_counts() {
+        // Two kernels driven by the same seed make the same requests in
+        // the same order, so the streams' positions must agree at every
+        // point — the property the audit layer's RNG digest relies on.
+        use crate::{Kernel, SimDuration};
+        let run = |seed: u64| {
+            let mut kernel: Kernel<u32> = Kernel::with_horizon(crate::SimTime::from_secs(60));
+            let mut rng = SimRng::seed(seed).split(3);
+            kernel.schedule_at(crate::SimTime::ZERO, 0);
+            let mut positions = Vec::new();
+            while let Some((_, n)) = kernel.pop() {
+                // A beacon-like jittered reschedule plus a workload coin.
+                let jitter = rng.uniform(0.0, 0.75);
+                if rng.chance(0.9) {
+                    kernel.schedule_in(SimDuration::from_secs_f64(1.0 + jitter), n + 1);
+                }
+                positions.push(rng.draw_count());
+            }
+            positions
+        };
+        let a = run(42);
+        let b = run(42);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same seed must give the same stream positions");
+        assert_ne!(a, run(43), "different seeds diverge");
     }
 
     #[test]

@@ -731,12 +731,13 @@ fn format_f64(x: f64) -> String {
     s
 }
 
-/// Minimal recursive-descent JSON parser for the snapshot subset
+/// Minimal recursive-descent JSON parser for the exporter subset
 /// (objects, arrays, numbers, strings without escapes, booleans, null).
-mod json {
+/// Shared with the audit module's `.audit.json` artifact parser.
+pub(crate) mod json {
     /// Parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
-    pub(super) enum Value {
+    pub(crate) enum Value {
         /// Numeric literal, kept as raw text so 64-bit integers survive
         /// without a round-trip through `f64` (which only has 53 bits).
         Number(String),
@@ -753,21 +754,21 @@ mod json {
     }
 
     impl Value {
-        pub(super) fn as_object(&self, what: &str) -> Result<&Vec<(String, Value)>, String> {
+        pub(crate) fn as_object(&self, what: &str) -> Result<&Vec<(String, Value)>, String> {
             match self {
                 Value::Object(fields) => Ok(fields),
                 other => Err(format!("{what}: expected object, got {other:?}")),
             }
         }
 
-        pub(super) fn as_array(&self, what: &str) -> Result<&Vec<Value>, String> {
+        pub(crate) fn as_array(&self, what: &str) -> Result<&Vec<Value>, String> {
             match self {
                 Value::Array(items) => Ok(items),
                 other => Err(format!("{what}: expected array, got {other:?}")),
             }
         }
 
-        pub(super) fn as_f64(&self, what: &str) -> Result<f64, String> {
+        pub(crate) fn as_f64(&self, what: &str) -> Result<f64, String> {
             match self {
                 Value::Number(text) => {
                     text.parse().map_err(|_| format!("{what}: bad number {text:?}"))
@@ -776,7 +777,7 @@ mod json {
             }
         }
 
-        pub(super) fn as_u64(&self, what: &str) -> Result<u64, String> {
+        pub(crate) fn as_u64(&self, what: &str) -> Result<u64, String> {
             match self {
                 Value::Number(text) => text
                     .parse()
@@ -786,7 +787,7 @@ mod json {
         }
     }
 
-    pub(super) fn parse(text: &str) -> Result<Value, String> {
+    pub(crate) fn parse(text: &str) -> Result<Value, String> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
         let v = p.value()?;
         p.skip_ws();

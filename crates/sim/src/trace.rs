@@ -484,7 +484,9 @@ impl TraceRecord {
         let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
         let num = |key: &str| -> Result<u64, String> {
             match get(key) {
-                Some(JsonValue::Number(n)) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as u64),
+                Some(JsonValue::Number(n)) => {
+                    n.parse::<u64>().map_err(|_| format!("field {key:?} is not a u64: {n:?}"))
+                }
                 Some(v) => Err(format!("field {key:?} is not an integer: {v:?}")),
                 None => Err(format!("missing field {key:?}")),
             }
@@ -511,7 +513,9 @@ impl TraceRecord {
         };
         let float = |key: &str| -> Result<f64, String> {
             match get(key) {
-                Some(JsonValue::Number(n)) => Ok(*n),
+                Some(JsonValue::Number(n)) => {
+                    n.parse::<f64>().map_err(|_| format!("field {key:?} is not a number: {n:?}"))
+                }
                 Some(v) => Err(format!("field {key:?} is not a number: {v:?}")),
                 None => Err(format!("missing field {key:?}")),
             }
@@ -589,7 +593,9 @@ fn format_f64(x: f64) -> String {
 
 #[derive(Debug, Clone, PartialEq)]
 enum JsonValue {
-    Number(f64),
+    /// Kept as raw text: parsing through `f64` would silently truncate
+    /// u64 address bits above 2^53.
+    Number(String),
     String(String),
     Bool(bool),
 }
@@ -630,9 +636,9 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
         } else {
             let end = rest.find([',', '}']).unwrap_or(rest.len());
             let token = rest[..end].trim();
-            let n: f64 =
+            let _: f64 =
                 token.parse().map_err(|_| format!("bad number {token:?} for key {key:?}"))?;
-            value = JsonValue::Number(n);
+            value = JsonValue::Number(token.to_string());
             rest = &rest[end..];
         }
         fields.push((key, value));

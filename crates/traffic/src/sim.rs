@@ -3,9 +3,17 @@
 use crate::road::{Direction, RoadConfig};
 use crate::vehicle::{Vehicle, VehicleId};
 use geonet_geo::Position;
-use geonet_sim::{SimTime, Telemetry, TraceEvent, Tracer};
+use geonet_sim::{SimTime, StateHasher, Telemetry, TraceEvent, Tracer};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Stable wire code for a direction, for audit digests.
+fn direction_code(d: Direction) -> u8 {
+    match d {
+        Direction::East => 0,
+        Direction::West => 1,
+    }
+}
 
 /// A hazard blocking all lanes of one direction at a longitudinal
 /// position (the paper's Figure 11a event blocks both eastbound lanes at
@@ -174,6 +182,39 @@ impl TrafficSim {
     #[must_use]
     pub fn entry_open(&self, direction: Direction) -> bool {
         self.entry_open.get(&direction).copied().unwrap_or(false)
+    }
+
+    /// Folds the simulation's canonical state — clock, collision count,
+    /// every vehicle's kinematics, hazards and per-direction entry
+    /// bookkeeping — into an audit digest. The hash-map state is walked
+    /// via [`RoadConfig::directions`] so the digest never depends on
+    /// `HashMap` iteration order.
+    pub fn digest_into(&self, h: &mut StateHasher) {
+        h.write_f64(self.elapsed);
+        h.write_u64(self.collisions);
+        h.write_u64(self.vehicles.len() as u64);
+        for v in &self.vehicles {
+            h.write_u64(u64::from(v.id.0));
+            h.write_u8(direction_code(v.direction));
+            h.write_u8(v.lane);
+            h.write_f64(v.s);
+            h.write_f64(v.v);
+            h.write_bool(v.exited);
+        }
+        h.write_u64(self.hazards.len() as u64);
+        for hz in &self.hazards {
+            h.write_u8(direction_code(hz.direction));
+            h.write_f64(hz.s);
+        }
+        for &d in self.road.directions() {
+            h.write_u8(direction_code(d));
+            h.write_bool(self.entry_open(d));
+            h.write_u8(self.next_lane.get(&d).copied().unwrap_or(0));
+            match self.last_entered.get(&d) {
+                Some(id) => h.write_u64(u64::from(id.0) + 1),
+                None => h.write_u64(0),
+            }
+        }
     }
 
     /// Places a hazard blocking all lanes of `direction` at longitudinal

@@ -3,8 +3,9 @@
 //! The build environment has no network access, so the workspace vendors
 //! the subset of proptest its tests actually use: the [`proptest!`] macro,
 //! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, `any::<T>()`, numeric
-//! range strategies, tuple strategies, `prop::collection::vec` and
-//! `prop::option::of`, plus [`test_runner::ProptestConfig`].
+//! range strategies, tuple strategies, `Strategy::prop_map`,
+//! [`prop_oneof!`], `prop::collection::vec`, `prop::option::of` and
+//! `prop::sample::select`, plus [`test_runner::ProptestConfig`].
 //!
 //! Differences from the real crate, by design:
 //!
@@ -34,6 +35,73 @@ pub mod strategy {
 
         /// Draws one value.
         fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f` (no shrinking to invert, so
+        /// this is just post-composition).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            T: std::fmt::Debug,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        T: std::fmt::Debug,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy built by [`prop_oneof!`](crate::prop_oneof): draws one
+    /// value from a uniformly chosen arm. Real proptest weights arms and
+    /// shrinks toward earlier ones; this sampler has neither.
+    pub struct Union<T>(Vec<Box<dyn Strategy<Value = T>>>);
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} arms)", self.0.len())
+        }
+    }
+
+    impl<T: std::fmt::Debug> Union<T> {
+        /// Combines `arms` into one strategy; panics on an empty list.
+        #[must_use]
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T: std::fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].new_value(rng)
+        }
+    }
+
+    /// Boxes a strategy for [`Union`]; the `prop_oneof!` macro calls
+    /// this so its arms unify to one type.
+    pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(strategy)
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
@@ -318,10 +386,35 @@ pub mod test_runner {
     }
 }
 
+/// Choice strategies (`prop::sample::select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding a clone of one element of a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    /// Picks uniformly from `options`; panics on an empty list.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
 /// `prop::` namespace mirroring real proptest's prelude alias.
 pub mod prop {
     pub use crate::collection;
     pub use crate::option;
+    pub use crate::sample;
     pub use crate::strategy;
 }
 
@@ -330,7 +423,19 @@ pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
     pub use crate::{any, prop};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Combines strategies yielding the same value type into one that draws
+/// from a uniformly chosen arm. Weights (`n => strategy`) are not
+/// supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
 }
 
 /// Asserts a property inside a `proptest!` body; on failure the case
@@ -466,6 +571,17 @@ mod tests {
             prop_assert!(x < 100);
             let (a, b) = pair;
             let _ = (a, b);
+        }
+
+        #[test]
+        fn maps_unions_and_selects(
+            mapped in (0u8..10).prop_map(|v| v * 2),
+            either in prop_oneof![(0u32..5).prop_map(|v| v), (100u32..105).prop_map(|v| v)],
+            picked in prop::sample::select(vec!["a", "b", "c"]))
+        {
+            prop_assert!(mapped % 2 == 0 && mapped < 20);
+            prop_assert!(either < 5 || (100..105).contains(&either));
+            prop_assert!(["a", "b", "c"].contains(&picked));
         }
 
         #[test]
