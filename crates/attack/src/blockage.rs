@@ -51,6 +51,7 @@ impl fmt::Display for BlockageMode {
 #[derive(Debug, Clone)]
 pub struct IntraAreaAttacker {
     position: Position,
+    attack_range: Option<f64>,
     mode: BlockageMode,
     processing_delay: SimDuration,
     replay_once: bool,
@@ -71,6 +72,7 @@ impl IntraAreaAttacker {
     pub fn new(position: Position, mode: BlockageMode) -> Self {
         IntraAreaAttacker {
             position,
+            attack_range: None,
             mode,
             processing_delay: SimDuration::from_millis(1),
             replay_once: true,
@@ -125,6 +127,22 @@ impl IntraAreaAttacker {
     #[must_use]
     pub fn position(&self) -> Position {
         self.position
+    }
+
+    /// Declares the attacker's elevated sniff/TX range in metres, so
+    /// the attacker object is self-describing for observability layers
+    /// (blast-radius and coverage reports).
+    #[must_use]
+    pub fn with_attack_range(mut self, range: f64) -> Self {
+        assert!(range.is_finite() && range >= 0.0, "invalid attack range: {range}");
+        self.attack_range = Some(range);
+        self
+    }
+
+    /// The declared sniff/TX range, if the deployer set one.
+    #[must_use]
+    pub fn attack_range(&self) -> Option<f64> {
+        self.attack_range
     }
 
     /// The configured mode.

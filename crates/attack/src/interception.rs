@@ -22,6 +22,7 @@ use std::fmt;
 #[derive(Debug, Clone)]
 pub struct InterAreaAttacker {
     position: Position,
+    attack_range: Option<f64>,
     processing_delay: SimDuration,
     beacons_sniffed: u64,
     beacons_replayed: u64,
@@ -34,6 +35,7 @@ impl InterAreaAttacker {
     pub fn new(position: Position) -> Self {
         InterAreaAttacker {
             position,
+            attack_range: None,
             processing_delay: SimDuration::from_millis(1),
             beacons_sniffed: 0,
             beacons_replayed: 0,
@@ -58,6 +60,22 @@ impl InterAreaAttacker {
     #[must_use]
     pub fn position(&self) -> Position {
         self.position
+    }
+
+    /// Declares the attacker's elevated sniff/TX range in metres, so
+    /// the attacker object is self-describing for observability layers
+    /// (blast-radius and coverage reports).
+    #[must_use]
+    pub fn with_attack_range(mut self, range: f64) -> Self {
+        assert!(range.is_finite() && range >= 0.0, "invalid attack range: {range}");
+        self.attack_range = Some(range);
+        self
+    }
+
+    /// The declared sniff/TX range, if the deployer set one.
+    #[must_use]
+    pub fn attack_range(&self) -> Option<f64> {
+        self.attack_range
     }
 
     /// Moves the attacker (the paper's discussion covers mobile

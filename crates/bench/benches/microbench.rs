@@ -227,6 +227,28 @@ fn bench_audit(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_topo(c: &mut Criterion) {
+    // What one attached connectivity snapshot pays: enumerating the
+    // whole default world's adjacency from the medium and running the
+    // per-snapshot analytics (components, Tarjan articulation/bridges,
+    // gradient grading toward the destination, attacker coverage) —
+    // plus what rendering one snapshot to DOT costs on top.
+    let mut group = c.benchmark_group("topo");
+    group.sample_size(10);
+    let cfg = ScenarioConfig::paper_dsrc_default().with_duration(SimDuration::from_secs(3_600));
+    let mut w = World::new(cfg, None, 42);
+    w.run_until(SimTime::from_secs(5));
+    w.set_topo_destination(Position::new(cfg.road.length + 20.0, 0.0));
+    group.bench_function("topo_world_snapshot", |b| {
+        b.iter(|| black_box(w.topo_snapshot()));
+    });
+    let snapshot = w.topo_snapshot();
+    group.bench_function("topo_snapshot_to_dot", |b| {
+        b.iter(|| black_box(snapshot.to_dot()));
+    });
+    group.finish();
+}
+
 fn bench_world_throughput(c: &mut Criterion) {
     // End-to-end event throughput: one simulated second of the full
     // default world (traffic + beacons + deliveries).
@@ -251,7 +273,7 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_wire, bench_security, bench_loct_and_gf, bench_cbf,
-              bench_handle_frame, bench_audit, bench_medium_and_traffic,
-              bench_world_throughput
+              bench_handle_frame, bench_audit, bench_topo,
+              bench_medium_and_traffic, bench_world_throughput
 }
 criterion_main!(micro);

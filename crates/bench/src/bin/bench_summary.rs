@@ -8,7 +8,7 @@
 //! argument).
 //!
 //! ```text
-//! bench_summary [OUT.json] [--check]
+//! bench_summary [AUDIT_OUT.json] [TOPO_OUT.json] [--check]
 //! ```
 //!
 //! Measured variants: tracer/telemetry/auditor all off (the baseline),
@@ -17,15 +17,26 @@
 //! this must be indistinguishable from the baseline — the recorded
 //! `auditor_detached_regression_pct` is the acceptance number). The
 //! report also prices one audit checkpoint: a loaded router digest and a
-//! whole-world digest sample. `--check` exits nonzero if the detached
-//! auditor regresses the baseline by 2% or more.
+//! whole-world digest sample.
+//!
+//! A second report (default `BENCH_topo.json`) does the same for the
+//! topology observer, at the level it hooks: the world's traffic step.
+//! Two same-seed default worlds — both with the observer in its default
+//! detached state — advance in interleaved lockstep, and the recorded
+//! `topo_detached_regression_pct` is that pair's divergence: the
+//! detached observer's `due()` branch plus measurement noise. The report
+//! also prices an attached observer's step (5 s snapshot interval) and
+//! one whole-world snapshot. `--check` exits nonzero if the detached
+//! auditor or the detached topology observer regresses its baseline by
+//! 2% or more.
 
 use geonet::wire::GnPacket;
 use geonet::{CertificateAuthority, Frame, GnAddress, GnConfig, GnRouter};
 use geonet_geo::{GeoReference, Heading, Position};
 use geonet_scenarios::{ScenarioConfig, World};
 use geonet_sim::{
-    shared, shared_registry, NullSink, SimDuration, SimTime, StateHasher, Telemetry, Tracer,
+    shared, shared_registry, shared_topo, NullSink, SimDuration, SimTime, StateHasher, Telemetry,
+    Tracer,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -105,15 +116,54 @@ fn fresh_router(ca: &CertificateAuthority) -> GnRouter {
     )
 }
 
+/// Simulated seconds each world advances per timed sample; even, so the
+/// first-mover alternation inside a sample splits exactly 50/50, and
+/// small enough that [`SAMPLES`] interleaved samples stay far inside the
+/// horizon.
+const WORLD_SECONDS_PER_SAMPLE: u64 = 4;
+
+/// Median ns per simulated second of two same-seed worlds advancing in
+/// interleaved lockstep — the world-level analogue of [`time_pair_ns`],
+/// so traffic growth and frequency drift hit both sides equally.
+fn time_world_pair_ns(a: &mut World, b: &mut World, from_s: u64) -> (f64, f64) {
+    let (mut pa, mut pb) = (Vec::with_capacity(SAMPLES), Vec::with_capacity(SAMPLES));
+    let mut t = from_s;
+    for _ in 0..SAMPLES {
+        let (mut ea, mut eb) = (0u128, 0u128);
+        for s in 1..=WORLD_SECONDS_PER_SAMPLE {
+            // Alternate one-second slices, swapping who goes first each
+            // second: cache state and frequency drift cancel out.
+            let end = SimTime::from_secs(t + s);
+            let (first, second, ef, es) = if s % 2 == 0 {
+                (&mut *a, &mut *b, &mut ea, &mut eb)
+            } else {
+                (&mut *b, &mut *a, &mut eb, &mut ea)
+            };
+            let t0 = Instant::now();
+            first.run_until(end);
+            *ef += t0.elapsed().as_nanos();
+            let t0 = Instant::now();
+            second.run_until(end);
+            *es += t0.elapsed().as_nanos();
+        }
+        pa.push(ea as f64 / WORLD_SECONDS_PER_SAMPLE as f64);
+        pb.push(eb as f64 / WORLD_SECONDS_PER_SAMPLE as f64);
+        t += WORLD_SECONDS_PER_SAMPLE;
+    }
+    (median(pa), median(pb))
+}
+
 fn main() -> std::process::ExitCode {
-    let mut out = String::from("BENCH_audit.json");
     let mut check = false;
+    let mut outs = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--check" => check = true,
-            other => out = other.to_string(),
+            other => outs.push(other.to_string()),
         }
     }
+    let out = outs.first().cloned().unwrap_or_else(|| "BENCH_audit.json".to_string());
+    let topo_out = outs.get(1).cloned().unwrap_or_else(|| "BENCH_topo.json".to_string());
 
     let ca = CertificateAuthority::new(1);
     let frame = beacon_pv(&ca, 2, 520.0);
@@ -186,8 +236,65 @@ fn main() -> std::process::ExitCode {
     }
     print!("{json}");
     eprintln!("# wrote {out}");
+
+    eprintln!("# timing world step with the topology observer detached vs attached...");
+    // The topology observer hooks the traffic step exactly like the
+    // auditor; its detached state is the world default, so both sides of
+    // the pair run it — the measured divergence is the `due()` branch
+    // plus noise, and must stay under the same 2% bar.
+    let warm = SimTime::from_secs(5);
+    let mut w_base = World::new(cfg, None, 42);
+    let mut w_det = World::new(cfg, None, 42);
+    w_base.run_until(warm);
+    w_det.run_until(warm);
+    let (step_baseline, step_detached) = time_world_pair_ns(&mut w_base, &mut w_det, 5);
+    let mut w_att = World::new(cfg, None, 42);
+    w_att.set_topo_observer(shared_topo(SimDuration::from_secs(5)));
+    w_att.set_topo_destination(Position::new(4_020.0, 0.0));
+    w_att.run_until(warm);
+    let mut att_samples = Vec::with_capacity(SAMPLES);
+    let mut t = 5u64;
+    for _ in 0..SAMPLES {
+        let end = t + WORLD_SECONDS_PER_SAMPLE;
+        let t0 = Instant::now();
+        w_att.run_until(SimTime::from_secs(end));
+        att_samples.push(t0.elapsed().as_nanos() as f64 / WORLD_SECONDS_PER_SAMPLE as f64);
+        t = end;
+    }
+    let step_attached = median(att_samples);
+    let mut snap_samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            black_box(w_att.topo_snapshot());
+        }
+        snap_samples.push(t0.elapsed().as_nanos() as f64 / 100.0);
+    }
+    let world_snapshot = median(snap_samples);
+
+    let topo_regression_pct = (step_detached - step_baseline) / step_baseline * 100.0;
+    let topo_json = format!(
+        "{{\n  \"bench\": \"world_step_topo\",\n  \"samples\": {SAMPLES},\n  \
+         \"seconds_per_sample\": {WORLD_SECONDS_PER_SAMPLE},\n  \
+         \"baseline_step_ns\": {step_baseline:.2},\n  \
+         \"topo_detached_step_ns\": {step_detached:.2},\n  \
+         \"topo_detached_regression_pct\": {topo_regression_pct:.2},\n  \
+         \"topo_attached_5s_step_ns\": {step_attached:.2},\n  \
+         \"topo_world_snapshot_ns\": {world_snapshot:.2}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&topo_out, &topo_json) {
+        eprintln!("error: writing {topo_out}: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    print!("{topo_json}");
+    eprintln!("# wrote {topo_out}");
+
     if check && regression_pct >= 2.0 {
         eprintln!("error: auditor-detached handle_frame regressed {regression_pct:.2}% (>= 2%)");
+        return std::process::ExitCode::FAILURE;
+    }
+    if check && topo_regression_pct >= 2.0 {
+        eprintln!("error: topo-detached world step regressed {topo_regression_pct:.2}% (>= 2%)");
         return std::process::ExitCode::FAILURE;
     }
     std::process::ExitCode::SUCCESS

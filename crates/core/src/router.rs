@@ -308,6 +308,30 @@ impl GnRouter {
         self.stats
     }
 
+    /// The greedy next hop this router would pick *right now* for a
+    /// packet heading to `dest_center` — a read-only probe of the
+    /// location-table gradient (no state mutated, nothing traced) that
+    /// honours the configured plausibility mitigation. Topology
+    /// observers use it to classify each node's gradient as
+    /// healthy/stuck/poisoned against the physical radio graph.
+    #[must_use]
+    pub fn gradient_query(
+        &self,
+        position: Position,
+        dest_center: Position,
+        now: SimTime,
+    ) -> GfDecision {
+        greedy_select_excluding(
+            &self.loct,
+            self.addr(),
+            position,
+            dest_center,
+            &[],
+            self.config.mitigations.gf_plausibility_threshold,
+            now,
+        )
+    }
+
     /// Builds this node's signed beacon frame.
     #[must_use]
     pub fn make_beacon(
@@ -1118,6 +1142,39 @@ mod tests {
             }
             other => panic!("expected one unicast, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn gradient_query_probes_without_mutating() {
+        let h = Harness::new();
+        let far = h.router(3);
+        let mut victim = h.router(1);
+        let dest = Position::new(4_020.0, 0.0);
+        let t = NOW + SimDuration::from_millis(1);
+        assert_eq!(
+            victim.gradient_query(Position::ORIGIN, dest, t),
+            GfDecision::NoProgress,
+            "empty location table"
+        );
+        // A replayed beacon advertises a neighbour 700 m away — beyond
+        // radio reach, the poisoned-gradient case the topology observer
+        // classifies.
+        victim.handle_frame(
+            &far.make_beacon(NOW, Position::new(700.0, 0.0), 30.0, Heading::EAST),
+            Position::ORIGIN,
+            t,
+        );
+        let before = victim.stats();
+        match victim.gradient_query(Position::ORIGIN, dest, t) {
+            GfDecision::NextHop { addr, advertised } => {
+                assert_eq!(addr, GnAddress::vehicle(3));
+                // The advertised position survives the beacon's wire
+                // quantization (within a metre).
+                assert!(advertised.distance(Position::new(700.0, 0.0)) < 1.0);
+            }
+            other => panic!("expected the poisoned next hop, got {other}"),
+        }
+        assert_eq!(victim.stats(), before, "the probe must not count as a decision");
     }
 
     #[test]

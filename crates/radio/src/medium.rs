@@ -92,6 +92,13 @@ impl Medium {
         self.entries.is_empty()
     }
 
+    /// Every registered node id, ascending — the topology observer's
+    /// enumeration when it snapshots the adjacency graph (filter with
+    /// [`Medium::is_active`] as needed).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.entries.len()).map(|i| NodeId(i as u32))
+    }
+
     /// Folds every registered node's radio state — position, range,
     /// activity — into an audit digest, in node-id order.
     pub fn digest_into(&self, h: &mut StateHasher) {
@@ -340,6 +347,15 @@ mod tests {
         let id = NodeId(7);
         assert_eq!(id.to_string(), "n7");
         assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn nodes_enumerates_every_registration_in_order() {
+        let (mut m, ids) = medium_with_line(&[500.0; 3], 100.0);
+        m.set_active(ids[1], false);
+        // Enumeration is registration order and includes inactive nodes.
+        assert_eq!(m.nodes().collect::<Vec<_>>(), ids);
+        assert!(Medium::new().nodes().next().is_none());
     }
 
     proptest! {

@@ -4,7 +4,8 @@
 //! repro [--runs N] [--duration SECS] [--seed S] [--csv]
 //!       [--trace PREFIX] [--forensics] [--metrics PREFIX] [--profile]
 //!       [--audit PREFIX] [--audit-diff A B] [--check-invariants]
-//!       <experiment>...
+//!       [--topology PREFIX] [--topology-scenario NAME]
+//!       [--topology-diff AF ATK] <experiment>...
 //! ```
 //!
 //! Experiments: `table1 table2 fig7a fig7b fig7c fig7d fig7e fig8
@@ -43,23 +44,45 @@
 //! [`geonet_sim::InvariantChecker`] attached and fails the invocation on
 //! the first protocol-invariant violation. With any of these flags the
 //! experiment list may be empty.
+//!
+//! `--topology PREFIX` adds a *topology pass*: one attacker-free and one
+//! attacked run of the selected scenario (`--topology-scenario
+//! interception`, the default, or `blockage`), each with the
+//! [`geonet_sim::topo`] observer and a road-binned
+//! [`geonet_scenarios::heatmap`] grid attached. Connectivity snapshots
+//! go to `PREFIX.<variant>.topo.json` (round-trippable) and
+//! `PREFIX.<variant>.topo.dot` (Graphviz, one graph per snapshot);
+//! outcome grids go to `PREFIX.<variant>.heatmap.json` and `.csv`.
+//! `--topology-diff AF ATK` reads two such prefixes back and prints the
+//! per-bin attacker-free vs. attacked delta table plus the blast-radius
+//! report (hot bins, partition time, greedy-local-maximum evidence,
+//! displaced articulation points).
 
 use geonet_attack::IntraAreaAttacker;
 use geonet_radio::RangeProfile;
 use geonet_scenarios::config::Scale;
 use geonet_scenarios::forensics::{top_nodes, AttributionReport};
-use geonet_scenarios::report::{render_table, series_to_csv, to_csv, ExperimentRow};
+use geonet_scenarios::report::{
+    drop_breakdown, render_table, series_to_csv, to_csv, ExperimentRow,
+};
 use geonet_scenarios::{
-    analysis, extensions, impact, interarea, intraarea, mitigation, progress, safety, AbResult,
-    ScenarioConfig,
+    analysis, extensions, impact, interarea, intraarea, mitigation, progress, safety, topology,
+    AbResult, BlastRadiusReport, HeatmapDiff, RoadHeatmap, ScenarioConfig,
 };
 use geonet_sim::{
     diff_artifacts, shared, shared_auditor, shared_registry, trace_window, AuditArtifact,
-    InvariantChecker, InvariantParams, JsonlSink, SharedSink, SimDuration, TraceRecord, TraceSink,
-    VecSink,
+    EventCounters, InvariantChecker, InvariantParams, JsonlSink, SharedSink, SimDuration,
+    TopoArtifact, TraceRecord, TraceSink, VecSink,
 };
 use geonet_traffic::IdmParams;
 use std::process::ExitCode;
+
+/// Which scenario the `--topology` pass instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TopologyScenario {
+    Interception,
+    Blockage,
+}
 
 #[derive(Debug)]
 struct Options {
@@ -73,7 +96,155 @@ struct Options {
     audit: Option<String>,
     audit_diff: Option<(String, String)>,
     check_invariants: bool,
+    topology: Option<String>,
+    topology_scenario: TopologyScenario,
+    topology_diff: Option<(String, String)>,
     experiments: Vec<String>,
+}
+
+/// One CLI flag: its operands, its help line and example operand
+/// values (what the self-documentation test feeds the parser).
+struct FlagSpec {
+    name: &'static str,
+    operands: &'static str,
+    group: &'static str,
+    help: &'static str,
+    // Consumed only by the self-documentation test.
+    #[cfg_attr(not(test), allow(dead_code))]
+    example: &'static [&'static str],
+}
+
+/// Every flag `parse_args_from` accepts, grouped as the help prints
+/// them. A flag absent from this table is rejected before the parser
+/// ever sees it, so the table *is* the accepted set — the help text is
+/// generated from it and can never go stale.
+const FLAG_SPECS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--runs",
+        operands: "N",
+        group: "campaign",
+        help: "A/B runs per experiment point (default 5)",
+        example: &["3"],
+    },
+    FlagSpec {
+        name: "--duration",
+        operands: "SECS",
+        group: "campaign",
+        help: "simulated seconds per run (default 100)",
+        example: &["30"],
+    },
+    FlagSpec {
+        name: "--seed",
+        operands: "S",
+        group: "campaign",
+        help: "base RNG seed (default 42)",
+        example: &["7"],
+    },
+    FlagSpec {
+        name: "--csv",
+        operands: "",
+        group: "campaign",
+        help: "emit experiment tables as CSV instead of text",
+        example: &[],
+    },
+    FlagSpec {
+        name: "--trace",
+        operands: "PREFIX",
+        group: "trace",
+        help: "write PREFIX.<family>.jsonl event logs (forensic pass)",
+        example: &["/tmp/repro-trace"],
+    },
+    FlagSpec {
+        name: "--forensics",
+        operands: "",
+        group: "trace",
+        help: "print per-run loss attribution and busiest-node counters",
+        example: &[],
+    },
+    FlagSpec {
+        name: "--metrics",
+        operands: "PREFIX",
+        group: "metrics",
+        help: "write PREFIX.metrics.prom + PREFIX.metrics.json telemetry",
+        example: &["/tmp/repro-metrics"],
+    },
+    FlagSpec {
+        name: "--profile",
+        operands: "",
+        group: "metrics",
+        help: "print the hot-path wall-clock timer table",
+        example: &[],
+    },
+    FlagSpec {
+        name: "--audit",
+        operands: "PREFIX",
+        group: "audit",
+        help: "write PREFIX.<variant>.audit.json digest timelines plus matching \
+               PREFIX.<variant>.trace.jsonl event logs",
+        example: &["/tmp/repro-audit"],
+    },
+    FlagSpec {
+        name: "--audit-diff",
+        operands: "A B",
+        group: "audit",
+        help: "compare two audit artifacts; exit nonzero on divergence",
+        example: &["a.audit.json", "b.audit.json"],
+    },
+    FlagSpec {
+        name: "--check-invariants",
+        operands: "",
+        group: "audit",
+        help: "replay tier-1 scenarios with the invariant checker",
+        example: &[],
+    },
+    FlagSpec {
+        name: "--topology",
+        operands: "PREFIX",
+        group: "topology",
+        help: "run an instrumented attacker-free/attacked pair; write \
+               PREFIX.<variant>.topo.json/.topo.dot connectivity snapshots and \
+               PREFIX.<variant>.heatmap.json/.csv road-binned outcome grids",
+        example: &["/tmp/repro-topo"],
+    },
+    FlagSpec {
+        name: "--topology-scenario",
+        operands: "NAME",
+        group: "topology",
+        help: "scenario for --topology: interception (default) or blockage",
+        example: &["blockage"],
+    },
+    FlagSpec {
+        name: "--topology-diff",
+        operands: "AF ATK",
+        group: "topology",
+        help: "diff two --topology prefixes: per-bin delta table + blast-radius report",
+        example: &["/tmp/repro-topo.af", "/tmp/repro-topo.atk"],
+    },
+];
+
+/// Renders the full `--help` text from [`FLAG_SPECS`].
+fn help_text() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "usage: repro [flags] <experiment>...\n\
+         experiments: table1 table2 fig7a fig7b fig7c fig7d fig7e fig8 fig9a fig9b\n\
+         \x20   fig9c fig9d fig9e fig9src fig10 fig12a fig12b fig13 fig14a fig14b all\n\
+         \x20   analysis ext-ack ext-loss ext-mobile\n",
+    );
+    let mut group = "";
+    for s in FLAG_SPECS {
+        if s.group != group {
+            group = s.group;
+            let _ = writeln!(out, "{group} flags:");
+        }
+        let left = if s.operands.is_empty() {
+            s.name.to_string()
+        } else {
+            format!("{} {}", s.name, s.operands)
+        };
+        let _ = writeln!(out, "  {left:<26} {}", s.help);
+    }
+    out
 }
 
 /// Remembers which `--` flags appeared; a repeated flag is rejected with
@@ -98,11 +269,19 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
     let mut audit = None;
     let mut audit_diff = None;
     let mut check_invariants = false;
+    let mut topology = None;
+    let mut topology_scenario = TopologyScenario::Interception;
+    let mut topology_diff = None;
     let mut experiments = Vec::new();
     let mut seen: Vec<String> = Vec::new();
     let mut args = args;
     while let Some(arg) = args.next() {
         if arg.starts_with('-') && arg != "--help" && arg != "-h" {
+            // The spec table is the accepted set: anything else is
+            // rejected here, so every accepted flag is documented.
+            if !FLAG_SPECS.iter().any(|s| s.name == arg) {
+                return Err(format!("unknown flag {arg}"));
+            }
             note_seen(&mut seen, &arg)?;
         }
         match arg.as_str() {
@@ -145,23 +324,29 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
                 audit_diff = Some((a, b));
             }
             "--check-invariants" => check_invariants = true,
+            "--topology" => {
+                topology = Some(args.next().ok_or("--topology needs a path prefix")?);
+            }
+            "--topology-scenario" => {
+                let name = args.next().ok_or("--topology-scenario needs a name")?;
+                topology_scenario = match name.as_str() {
+                    "interception" => TopologyScenario::Interception,
+                    "blockage" => TopologyScenario::Blockage,
+                    other => {
+                        return Err(format!(
+                            "--topology-scenario: unknown scenario {other} \
+                             (expected interception or blockage)"
+                        ))
+                    }
+                };
+            }
+            "--topology-diff" => {
+                let a = args.next().ok_or("--topology-diff needs two artifact prefixes")?;
+                let b = args.next().ok_or("--topology-diff needs two artifact prefixes")?;
+                topology_diff = Some((a, b));
+            }
             "--help" | "-h" => {
-                println!(
-                    "usage: repro [--runs N] [--duration SECS] [--seed S] [--csv]\n\
-                     \x20            [--trace PREFIX] [--forensics] [--metrics PREFIX]\n\
-                     \x20            [--profile] [--audit PREFIX] [--audit-diff A B]\n\
-                     \x20            [--check-invariants] <experiment>...\n\
-                     experiments: table1 table2 fig7a fig7b fig7c fig7d fig7e fig8 fig9a fig9b\n\
-                     fig9c fig9d fig9e fig9src fig10 fig12a fig12b fig13 fig14a fig14b all\n\
-                     --trace PREFIX   write PREFIX.<family>.jsonl event logs (forensic pass)\n\
-                     --forensics      print per-run loss attribution and busiest-node counters\n\
-                     --metrics PREFIX write PREFIX.metrics.prom + PREFIX.metrics.json telemetry\n\
-                     --profile        print the hot-path wall-clock timer table\n\
-                     --audit PREFIX   write PREFIX.<variant>.audit.json digest timelines plus\n\
-                     \x20                matching PREFIX.<variant>.trace.jsonl event logs\n\
-                     --audit-diff A B compare two audit artifacts; exit nonzero on divergence\n\
-                     --check-invariants  replay tier-1 scenarios with the invariant checker"
-                );
+                print!("{}", help_text());
                 std::process::exit(0);
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -176,6 +361,8 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
         && audit.is_none()
         && audit_diff.is_none()
         && !check_invariants
+        && topology.is_none()
+        && topology_diff.is_none()
     {
         return Err("no experiments given (try `repro --help`)".into());
     }
@@ -200,6 +387,9 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
         audit,
         audit_diff,
         check_invariants,
+        topology,
+        topology_scenario,
+        topology_diff,
         experiments,
     })
 }
@@ -250,6 +440,11 @@ fn forensic_pass(opts: &Options) -> Result<(), String> {
         if opts.forensics {
             println!("Forensics — one attacked {family} run, seed {}", opts.seed);
             println!("{}", AttributionReport::build(&records, attacker));
+            let mut totals = EventCounters::default();
+            for r in &records {
+                totals.record(&r.event);
+            }
+            println!("{}", drop_breakdown(&format!("router drops by reason ({family})"), &totals));
             println!("busiest nodes:");
             for (node, counters, total) in top_nodes(&records, 5) {
                 let summary: Vec<String> = counters
@@ -434,6 +629,101 @@ fn audit_diff_pass(a_path: &str, b_path: &str) -> Result<bool, String> {
         }
     }
     Ok(report.identical())
+}
+
+/// One attacker-free and one attacked run of the selected scenario,
+/// each with the topology observer and a road-binned heatmap attached:
+/// connectivity snapshots to `PREFIX.<variant>.topo.json` (round-trip
+/// JSON) and `.topo.dot` (Graphviz, one graph per snapshot), outcome
+/// grids to `PREFIX.<variant>.heatmap.json` and `.csv`. Interception
+/// pairs are correlated first, so the attacked heatmap carries the
+/// intercepted packets and their coverage attribution.
+fn topology_pass(opts: &Options, prefix: &str) -> Result<(), String> {
+    let write = |path: String, text: &str| {
+        std::fs::write(&path, text).map_err(|e| format!("--topology {path}: {e}"))
+    };
+    let duration = SimDuration::from_secs(opts.scale.duration_s);
+    let interval = topology::DEFAULT_SNAPSHOT_INTERVAL;
+    let cfg = match opts.topology_scenario {
+        TopologyScenario::Interception => {
+            ScenarioConfig::paper_dsrc_default().with_attack_range(486.0)
+        }
+        TopologyScenario::Blockage => ScenarioConfig::paper_dsrc_default().with_attack_range(500.0),
+    }
+    .with_duration(duration);
+    let run = |attacked| match opts.topology_scenario {
+        TopologyScenario::Interception => {
+            topology::run_interarea(&cfg, attacked, opts.seed, interval)
+        }
+        TopologyScenario::Blockage => topology::run_blockage(&cfg, attacked, opts.seed, interval),
+    };
+    let af = run(false);
+    let mut atk = run(true);
+    if opts.topology_scenario == TopologyScenario::Interception {
+        let (intercepted, in_cov) = topology::correlate_interception(&af, &mut atk);
+        eprintln!(
+            "# topology: {intercepted} intercepted packets, \
+             {in_cov} last forwarded inside attacker coverage"
+        );
+    }
+    for (variant, r) in [("af", &af), ("atk", &atk)] {
+        let base = format!("{prefix}.{variant}");
+        write(format!("{base}.topo.json"), &r.topo.to_json())?;
+        let mut dot = String::new();
+        for s in &r.topo.snapshots {
+            dot.push_str(&s.to_dot());
+        }
+        write(format!("{base}.topo.dot"), &dot)?;
+        write(format!("{base}.heatmap.json"), &r.heatmap.to_json())?;
+        write(format!("{base}.heatmap.csv"), &r.heatmap.to_csv())?;
+        eprintln!(
+            "# topology: {} snapshots -> {base}.topo.json/.dot, \
+             {} packets -> {base}.heatmap.json/.csv",
+            r.topo.snapshots.len(),
+            r.packets.len()
+        );
+    }
+    Ok(())
+}
+
+/// Reads an attacker-free and an attacked `--topology` prefix back and
+/// prints the per-bin delta table plus the blast-radius report. The
+/// interception counters ride in the attacked heatmap's metadata, so
+/// the comparison needs nothing beyond the serialized artifacts.
+fn topology_diff_pass(af_prefix: &str, atk_prefix: &str) -> Result<(), String> {
+    let read = |path: String| {
+        std::fs::read_to_string(&path).map_err(|e| format!("--topology-diff {path}: {e}"))
+    };
+    let heat = |prefix: &str| -> Result<RoadHeatmap, String> {
+        let path = format!("{prefix}.heatmap.json");
+        RoadHeatmap::from_json(&read(path.clone())?)
+            .map_err(|e| format!("--topology-diff {path}: {e}"))
+    };
+    let topo = |prefix: &str| -> Result<TopoArtifact, String> {
+        let path = format!("{prefix}.topo.json");
+        TopoArtifact::from_json(&read(path.clone())?)
+            .map_err(|e| format!("--topology-diff {path}: {e}"))
+    };
+    let (af_heat, atk_heat) = (heat(af_prefix)?, heat(atk_prefix)?);
+    let (af_topo, atk_topo) = (topo(af_prefix)?, topo(atk_prefix)?);
+    let counter = |key: &str| -> Result<u64, String> {
+        match atk_heat.meta().get(key) {
+            None => Ok(0),
+            Some(v) => v.parse().map_err(|e| format!("--topology-diff: meta {key}={v:?}: {e}")),
+        }
+    };
+    let diff = HeatmapDiff::build(&af_heat, &atk_heat)?;
+    let report = BlastRadiusReport::build(
+        &af_topo,
+        &atk_topo,
+        &diff,
+        counter("intercepted_total")?,
+        counter("last_hop_in_coverage")?,
+    );
+    println!("Topology diff — af = {af_prefix}, atk = {atk_prefix}");
+    print!("{diff}");
+    println!("{report}");
+    Ok(())
 }
 
 /// Replays the tier-1 scenario pairs (interception and blockage,
@@ -806,6 +1096,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(prefix) = &opts.topology {
+        if let Err(e) = topology_pass(&opts, prefix) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some((af, atk)) = &opts.topology_diff {
+        if let Err(e) = topology_diff_pass(af, atk) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -888,6 +1190,45 @@ mod tests {
             Some("/tmp/run.baseline.trace.jsonl")
         );
         assert_eq!(sibling_trace("/tmp/other.json"), None);
+    }
+
+    #[test]
+    fn topology_flags_allow_empty_experiments() {
+        let o = parse(&["--topology", "/tmp/topo"]).expect("topology alone is valid");
+        assert_eq!(o.topology.as_deref(), Some("/tmp/topo"));
+        assert_eq!(o.topology_scenario, TopologyScenario::Interception);
+        assert!(o.experiments.is_empty());
+        let o = parse(&["--topology-diff", "run.af", "run.atk"]).expect("valid");
+        assert_eq!(o.topology_diff, Some(("run.af".to_string(), "run.atk".to_string())));
+    }
+
+    #[test]
+    fn topology_scenario_selects_blockage() {
+        let o =
+            parse(&["--topology-scenario", "blockage", "--topology", "/tmp/topo"]).expect("valid");
+        assert_eq!(o.topology_scenario, TopologyScenario::Blockage);
+        let err = parse(&["--topology-scenario", "teleport", "--topology", "/tmp/t"]).unwrap_err();
+        assert!(err.contains("unknown scenario teleport"), "got: {err}");
+    }
+
+    #[test]
+    fn help_documents_every_accepted_flag() {
+        let help = help_text();
+        for spec in FLAG_SPECS {
+            // Documented: the flag and its operand signature appear.
+            let line = if spec.operands.is_empty() {
+                spec.name.to_string()
+            } else {
+                format!("{} {}", spec.name, spec.operands)
+            };
+            assert!(help.contains(&line), "help is missing {line:?}:\n{help}");
+            // Accepted: the parser takes the flag with its example
+            // operands (plus an experiment, for flags that need one).
+            let mut argv = vec![spec.name];
+            argv.extend_from_slice(spec.example);
+            argv.push("table1");
+            assert!(parse(&argv).is_ok(), "parser rejected documented flag {argv:?}");
+        }
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! [`geonet_sim::telemetry`] (hot-path histograms and state-depth gauges,
 //! attached to a world via [`World::set_telemetry`]).
 //!
+//! Spatial observability lives in [`heatmap`]: road-binned outcome grids
+//! fed from the trace stream, their A/B diff table and the attack
+//! blast-radius report, built on connectivity snapshots sampled by
+//! [`geonet_sim::topo`] via [`World::set_topo_observer`].
+//!
 //! Every experiment is A/B: the same seeded world is run attacker-free
 //! (A) and attacked (B); packet reception rates are collected in 5 s time
 //! bins and γ/λ is the average per-bin drop, exactly as the paper defines
@@ -44,6 +49,7 @@ pub mod analysis;
 pub mod config;
 pub mod extensions;
 pub mod forensics;
+pub mod heatmap;
 pub mod impact;
 pub mod interarea;
 pub mod intraarea;
@@ -51,8 +57,11 @@ pub mod mitigation;
 pub mod progress;
 pub mod report;
 pub mod safety;
+pub mod topology;
 pub mod world;
 
 pub use config::{AttackerSetup, ScenarioConfig};
+pub use heatmap::{BlastRadiusReport, HeatCell, HeatmapDiff, HeatmapDiffRow, RoadHeatmap};
 pub use report::{AbResult, ExperimentRow};
+pub use topology::{PacketFate, TopologyRun};
 pub use world::{NodeKind, World};

@@ -1,6 +1,6 @@
 //! Result types and report formatting for the experiment drivers.
 
-use geonet_sim::{AbComparison, TimeBins};
+use geonet_sim::{AbComparison, DropReason, EventCounters, TimeBins};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -137,6 +137,39 @@ pub fn to_csv(rows: &[ExperimentRow]) -> String {
     out
 }
 
+/// Renders a per-[`DropReason`] breakout of a run's router discards as
+/// an aligned text table: one row per reason that occurred (count and
+/// share of all drops), plus a total row. Reuses the trace layer's
+/// [`EventCounters`] — any traced run (forensic pass, topology pass,
+/// unit test sink) can feed it.
+#[must_use]
+pub fn drop_breakdown(title: &str, counters: &EventCounters) -> String {
+    use std::fmt::Write as _;
+    let total = counters.total_dropped();
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "-".repeat(title.len()));
+    if total == 0 {
+        let _ = writeln!(out, "no router drops");
+        return out;
+    }
+    for reason in DropReason::ALL {
+        let n = counters.dropped_for(reason);
+        if n == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9}  {:>5.1}%",
+            reason.name(),
+            n,
+            n as f64 / total as f64 * 100.0
+        );
+    }
+    let _ = writeln!(out, "{:<24} {:>9}  100.0%", "total", total);
+    out
+}
+
 /// Renders a per-bin time series (e.g. accumulated drop rates) as CSV with
 /// one column per labelled series.
 #[must_use]
@@ -210,6 +243,28 @@ mod tests {
         assert!(csv.starts_with("experiment,setting,paper,measured\n"));
         assert!(csv.contains("fig7a,mL,0.9990,0.9700"));
         assert!(csv.contains("fig7a,wN,0.4680,\n"));
+    }
+
+    #[test]
+    fn drop_breakdown_lists_only_reasons_that_occurred() {
+        let mut c = geonet_sim::EventCounters::default();
+        c.dropped[geonet_sim::DropReason::NoNextHop.index()] = 30;
+        c.dropped[geonet_sim::DropReason::RhlExhausted.index()] = 10;
+        let table = drop_breakdown("Drops — attacked interarea", &c);
+        assert!(table.contains("Drops — attacked interarea"), "{table}");
+        assert!(table.contains("no_next_hop") && table.contains("75.0%"), "{table}");
+        assert!(table.contains("rhl_exhausted") && table.contains("25.0%"), "{table}");
+        assert!(table.contains("total") && table.contains("40"), "{table}");
+        // Reasons that never fired stay out of the table.
+        let lines = table.lines().count();
+        assert_eq!(lines, 5, "{table}");
+    }
+
+    #[test]
+    fn drop_breakdown_handles_zero_drops() {
+        let c = geonet_sim::EventCounters::default();
+        let table = drop_breakdown("Drops", &c);
+        assert!(table.contains("no router drops"), "{table}");
     }
 
     #[test]

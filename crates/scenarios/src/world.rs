@@ -1,13 +1,16 @@
 //! The deterministic discrete-event world binding all substrates.
 
 use crate::config::{AttackerSetup, ScenarioConfig};
-use geonet::{CertificateAuthority, Frame, GnAddress, GnRouter, PacketKey, RouterAction};
+use geonet::{
+    CertificateAuthority, Frame, GfDecision, GnAddress, GnRouter, PacketKey, RouterAction,
+};
 use geonet_attack::{InterAreaAttacker, IntraAreaAttacker};
 use geonet_geo::{Area, GeoReference, Heading, Position};
 use geonet_radio::{Medium, NodeId};
 use geonet_sim::{
-    Auditor, Checkpoint, Kernel, PacketRef, SharedAuditor, SharedRegistry, SharedSink, SimDuration,
-    SimRng, SimTime, StateHasher, Telemetry, TraceEvent, Tracer, UnorderedDigest,
+    Auditor, Checkpoint, GradientHealth, Kernel, PacketRef, SharedAuditor, SharedRegistry,
+    SharedSink, SharedTopo, SimDuration, SimRng, SimTime, StateHasher, Telemetry, TopoNode,
+    TopoObserver, TopoSnapshot, TraceEvent, Tracer, UnorderedDigest,
 };
 use geonet_traffic::{Direction, TrafficSim, VehicleId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -77,6 +80,10 @@ pub struct World {
     tracer: Tracer,
     telemetry: Telemetry,
     auditor: Auditor,
+    topo: TopoObserver,
+    /// The destination the topology observer grades gradients against
+    /// (the packet sink of the running scenario, when it has one).
+    topo_dest: Option<Position>,
     /// Traffic steps seen since telemetry was attached (drives the
     /// periodic state-depth sampling cadence).
     telemetry_steps: u32,
@@ -120,6 +127,8 @@ impl World {
             tracer: Tracer::disabled(),
             telemetry: Telemetry::disabled(),
             auditor: Auditor::disabled(),
+            topo: TopoObserver::disabled(),
+            topo_dest: None,
             telemetry_steps: 0,
             cfg,
         };
@@ -237,6 +246,74 @@ impl World {
     /// single branch and no state is ever digested.
     pub fn set_auditor(&mut self, recorder: SharedAuditor) {
         self.auditor = Auditor::attached(recorder);
+    }
+
+    /// Attaches a topology recorder; the world samples a connectivity
+    /// snapshot into it whenever one falls due (checked once per traffic
+    /// step against the recorder's sim-time interval). Disabled by
+    /// default — the per-step check is then a single branch and no graph
+    /// is ever built.
+    pub fn set_topo_observer(&mut self, recorder: SharedTopo) {
+        self.topo = TopoObserver::attached(recorder);
+    }
+
+    /// Sets the destination against which snapshot gradients are graded
+    /// (see [`GradientHealth`]). Without one, every node's gradient
+    /// stays [`GradientHealth::Unknown`] and no router is probed.
+    pub fn set_topo_destination(&mut self, dest: Position) {
+        self.topo_dest = Some(dest);
+    }
+
+    /// Builds a connectivity snapshot of every active radio node at the
+    /// current simulation time: positions and ranges straight from the
+    /// medium, the attacker flagged, and — when a topology destination
+    /// is set — each router's greedy gradient graded by probing its
+    /// location table without mutating it. Expensive (O(n²) adjacency);
+    /// the snapshot cadence, not the event loop, decides when to call
+    /// this.
+    ///
+    /// Gradient grading mirrors the attack mechanics: a router whose
+    /// greedy choice is *physically unreachable* holds a poisoned
+    /// gradient (the replayed beacon planted a phantom neighbour), while
+    /// one with no forward progress at all is stuck at a local maximum.
+    #[must_use]
+    pub fn topo_snapshot(&self) -> TopoSnapshot {
+        let now = self.kernel.now();
+        let mut nodes = Vec::with_capacity(self.medium.len());
+        for node in self.medium.nodes() {
+            if !self.medium.is_active(node) {
+                continue;
+            }
+            let pos = self.medium.position(node);
+            let attacker = self.kinds[node.index()] == NodeKind::Attacker;
+            let mut tn = TopoNode::new(node.0, pos.x, pos.y, self.medium.tx_range(node), attacker);
+            if let (Some(dest), Some(router)) = (self.topo_dest, &self.routers[node.index()]) {
+                let health = match router.gradient_query(pos, dest, now) {
+                    GfDecision::NoProgress => GradientHealth::Stuck,
+                    GfDecision::NextHop { addr, .. } => {
+                        let reachable = self
+                            .addr_index
+                            .get(&addr)
+                            .is_some_and(|&hop| self.medium.reaches(node, hop));
+                        if reachable {
+                            GradientHealth::Healthy
+                        } else {
+                            GradientHealth::Poisoned
+                        }
+                    }
+                };
+                tn = tn.with_gradient(health);
+            }
+            nodes.push(tn);
+        }
+        TopoSnapshot::build(now, self.topo_dest.map(|p| (p.x, p.y)), nodes)
+    }
+
+    /// Records a topology snapshot if one is due (no-op when disabled).
+    fn sample_topo(&mut self) {
+        if self.topo.due(self.kernel.now()) {
+            self.topo.record(self.topo_snapshot());
+        }
     }
 
     /// Digests the world's complete canonical state into one checkpoint:
@@ -645,6 +722,7 @@ impl World {
         self.kernel.schedule_in(SimDuration::from_secs_f64(self.cfg.traffic_dt), Ev::TrafficStep);
         self.sample_telemetry();
         self.sample_audit();
+        self.sample_topo();
     }
 
     /// Samples internal state depths into the attached registry: the
@@ -1033,6 +1111,47 @@ mod tests {
             "attacker at {} after 10 s, expected ≈{expected_x}",
             atk.position().x
         );
+    }
+
+    #[test]
+    fn topo_observer_samples_and_grades_gradients() {
+        use geonet_sim::shared_topo;
+        let recorder = shared_topo(SimDuration::from_secs(2));
+        let mut w = World::new(short_cfg(), Some(AttackerSetup::InterArea), 11);
+        w.set_topo_observer(recorder.clone());
+        w.set_topo_destination(Position::new(4_020.0, 0.0));
+        w.run_until(SimTime::from_secs(9));
+        let rec = recorder.borrow();
+        // 20 s horizon sampled every 2 s of the first 9: t≈0.1,2,4,6,8.
+        assert!(rec.snapshots().len() >= 4, "only {} snapshots", rec.snapshots().len());
+        let last = rec.snapshots().last().unwrap();
+        // The attacker is present, flagged and covering vehicles.
+        assert_eq!(last.coverage.len(), 1);
+        assert!(last.coverage[0].fraction > 0.0, "attacker covers nobody");
+        // After 8 s of replayed beacons, some routers inside coverage
+        // hold gradients towards phantom (unreachable) neighbours.
+        assert!(
+            !last.nodes_with_gradient(GradientHealth::Poisoned).is_empty(),
+            "no poisoned gradients despite interception attack"
+        );
+        // The healthy majority still exists.
+        assert!(!last.nodes_with_gradient(GradientHealth::Healthy).is_empty());
+    }
+
+    #[test]
+    fn topo_snapshot_detached_world_matches_attached() {
+        // topo_snapshot is a pure read: attaching the observer must not
+        // perturb the simulation history.
+        let run = |attach: bool| {
+            let mut w = World::new(short_cfg(), Some(AttackerSetup::InterArea), 12);
+            if attach {
+                w.set_topo_observer(geonet_sim::shared_topo(SimDuration::from_secs(1)));
+                w.set_topo_destination(Position::new(4_020.0, 0.0));
+            }
+            w.run_until(SimTime::from_secs(6));
+            (w.events_processed(), w.frames_on_air(), w.audit_checkpoint().combined)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

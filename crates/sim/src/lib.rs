@@ -23,6 +23,10 @@
 //!   divergence diffing, and an online [`InvariantChecker`] for the
 //!   EN 302 636-4-1 forwarding rules, behind a zero-cost-when-disabled
 //!   [`Auditor`] handle.
+//! * [`topo`] — spatial & topological observability: radio
+//!   connectivity-graph snapshots with partition/articulation/local-
+//!   maximum/coverage analytics, `.topo.json` + DOT artifacts, behind a
+//!   zero-cost-when-detached [`TopoObserver`] handle.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@ pub mod queue;
 pub mod rng;
 pub mod telemetry;
 pub mod time;
+pub mod topo;
 pub mod trace;
 
 pub use audit::{
@@ -65,6 +70,10 @@ pub use telemetry::{
     SharedRegistry, Telemetry,
 };
 pub use time::{SimDuration, SimTime};
+pub use topo::{
+    shared_topo, AttackerCoverage, GradientHealth, SharedTopo, TopoArtifact, TopoNode,
+    TopoObserver, TopoRecorder, TopoSnapshot,
+};
 pub use trace::{
     shared, AttackKind, CountingSink, DropReason, EventCounters, JsonlSink, NullSink, PacketRef,
     SharedSink, TraceEvent, TraceRecord, TraceSink, Tracer, VecSink,

@@ -733,11 +733,13 @@ fn format_f64(x: f64) -> String {
 
 /// Minimal recursive-descent JSON parser for the exporter subset
 /// (objects, arrays, numbers, strings without escapes, booleans, null).
-/// Shared with the audit module's `.audit.json` artifact parser.
-pub(crate) mod json {
+/// Shared with the audit module's `.audit.json` artifact parser, the
+/// topology module's `.topo.json` parser and the scenario crate's
+/// heatmap parser.
+pub mod json {
     /// Parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
-    pub(crate) enum Value {
+    pub enum Value {
         /// Numeric literal, kept as raw text so 64-bit integers survive
         /// without a round-trip through `f64` (which only has 53 bits).
         Number(String),
@@ -754,21 +756,37 @@ pub(crate) mod json {
     }
 
     impl Value {
-        pub(crate) fn as_object(&self, what: &str) -> Result<&Vec<(String, Value)>, String> {
+        /// The value as an object's key/value pairs; `what` names the
+        /// construct in the error message.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not an object.
+        pub fn as_object(&self, what: &str) -> Result<&Vec<(String, Value)>, String> {
             match self {
                 Value::Object(fields) => Ok(fields),
                 other => Err(format!("{what}: expected object, got {other:?}")),
             }
         }
 
-        pub(crate) fn as_array(&self, what: &str) -> Result<&Vec<Value>, String> {
+        /// The value as an array's items.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not an array.
+        pub fn as_array(&self, what: &str) -> Result<&Vec<Value>, String> {
             match self {
                 Value::Array(items) => Ok(items),
                 other => Err(format!("{what}: expected array, got {other:?}")),
             }
         }
 
-        pub(crate) fn as_f64(&self, what: &str) -> Result<f64, String> {
+        /// The value as an `f64`.
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not a parseable number.
+        pub fn as_f64(&self, what: &str) -> Result<f64, String> {
             match self {
                 Value::Number(text) => {
                     text.parse().map_err(|_| format!("{what}: bad number {text:?}"))
@@ -777,7 +795,13 @@ pub(crate) mod json {
             }
         }
 
-        pub(crate) fn as_u64(&self, what: &str) -> Result<u64, String> {
+        /// The value as a `u64`, kept exact (no round-trip through
+        /// `f64`, whose mantissa only has 53 bits).
+        ///
+        /// # Errors
+        ///
+        /// Fails if the value is not an unsigned integer literal.
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
             match self {
                 Value::Number(text) => text
                     .parse()
@@ -787,7 +811,13 @@ pub(crate) mod json {
         }
     }
 
-    pub(crate) fn parse(text: &str) -> Result<Value, String> {
+    /// Parses one JSON document (of the exporter subset) into a
+    /// [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with a description of the first malformed construct.
+    pub fn parse(text: &str) -> Result<Value, String> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
         let v = p.value()?;
         p.skip_ws();
@@ -1218,6 +1248,33 @@ mod tests {
                 t.add("events_total", c / 2 + 1);
                 t.observe("lat_ns", c);
                 t.gauge("depth", (i as f64) * 0.5);
+            }
+            let snap = reg.borrow().snapshot();
+            let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+            prop_assert_eq!(parsed, snap);
+        }
+
+        /// Every metric kind, across each value's full domain: counters
+        /// and histogram samples over all of `u64` (beyond the 2^53
+        /// f64-exact range — the parser must keep integers as text, never
+        /// detour through a double) and gauges over the wide finite `f64`
+        /// range. The snapshot must survive export → parse bit-exactly.
+        #[test]
+        fn prop_json_round_trip_full_domain(
+            counts in prop::collection::vec(any::<u64>(), 1..20),
+            gauges in prop::collection::vec(-1.0e300..1.0e300f64, 1..20),
+        ) {
+            let reg = shared_registry();
+            let t = Telemetry::attached(reg.clone());
+            for (i, &c) in counts.iter().enumerate() {
+                let counter = ["events_total", "frames_total", "drops_total"][i % 3];
+                t.add(counter, c);
+                let histogram = ["lat_ns", "queue_wait_ns"][i % 2];
+                t.observe(histogram, c);
+            }
+            for (i, &g) in gauges.iter().enumerate() {
+                let gauge = ["depth", "load", "rate"][i % 3];
+                t.gauge(gauge, g);
             }
             let snap = reg.borrow().snapshot();
             let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();

@@ -698,6 +698,13 @@ impl VecSink {
     pub fn into_records(self) -> Vec<TraceRecord> {
         self.records
     }
+
+    /// Takes the records collected so far, leaving the sink empty —
+    /// lets a driver consume the stream incrementally (e.g. once per
+    /// simulated second) while the run continues to feed the sink.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
 }
 
 impl TraceSink for VecSink {
