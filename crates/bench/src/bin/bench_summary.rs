@@ -3,12 +3,12 @@
 //!
 //! Criterion lives in `dev-dependencies`, so binaries cannot use it;
 //! this runner times the `handle_frame` hot path with plain
-//! `std::time::Instant` batches and writes the medians to a small JSON
+//! `std::time::Instant` batches and writes best-case timings to a small JSON
 //! report (default `BENCH_audit.json`, or the path given as the first
 //! argument).
 //!
 //! ```text
-//! bench_summary [AUDIT_OUT.json] [TOPO_OUT.json] [--check]
+//! bench_summary [AUDIT_OUT.json] [TOPO_OUT.json] [RADIO_OUT.json] [PARALLEL_OUT.json] [--check]
 //! ```
 //!
 //! Measured variants: tracer/telemetry/auditor all off (the baseline),
@@ -26,17 +26,40 @@
 //! `topo_detached_regression_pct` is that pair's divergence: the
 //! detached observer's `due()` branch plus measurement noise. The report
 //! also prices an attached observer's step (5 s snapshot interval) and
-//! one whole-world snapshot. `--check` exits nonzero if the detached
-//! auditor or the detached topology observer regresses its baseline by
-//! 2% or more.
+//! one whole-world snapshot.
+//!
+//! A third report (default `BENCH_radio.json`) gates the spatial-indexed
+//! medium: the delivery path `World::transmit` actually ships
+//! (grid-backed `receivers_into` on a reused buffer) against the
+//! pre-index delivery path (the allocating linear scan,
+//! `receivers_within_linear`), interleaved, on the paper's two-lane
+//! road at 30/100/300 m inter-vehicle spacing. The new path must win
+//! at 30 m (the dense case the index exists for) and must not regress
+//! the 300 m sparse case by 2% or more; the allocating grid wrapper is
+//! reported alongside as the alloc-matched index-only comparison.
+//!
+//! A fourth report (default `BENCH_parallel.json`) gates the campaign
+//! job pool: an interarea `run_ab` campaign timed under `jobs = 1` vs
+//! `jobs = 4` plus the pre-pool hand-written loop. The pooled
+//! sequential path must stay within 2% of the raw loop, the `jobs = 4`
+//! report must be byte-identical to `jobs = 1` (hard gate), and on
+//! hosts that actually have ≥ 4 cores the campaign must run ≥ 2× faster
+//! — on smaller hosts the speedup number is recorded but the gate is
+//! skipped (`speedup_gate_enforced: false`).
+//!
+//! `--check` exits nonzero if the detached auditor or the detached
+//! topology observer regresses its baseline by 2% or more, or if any of
+//! the radio/parallel gates above fails.
 
 use geonet::wire::GnPacket;
 use geonet::{CertificateAuthority, Frame, GnAddress, GnConfig, GnRouter};
 use geonet_geo::{GeoReference, Heading, Position};
-use geonet_scenarios::{ScenarioConfig, World};
+use geonet_radio::{Medium, NodeId};
+use geonet_scenarios::config::Scale;
+use geonet_scenarios::{interarea, parallel, ScenarioConfig, World};
 use geonet_sim::{
     shared, shared_registry, shared_topo, NullSink, SimDuration, SimTime, StateHasher, Telemetry,
-    Tracer,
+    TimeBins, Tracer,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -44,16 +67,34 @@ use std::time::Instant;
 /// Per-sample iteration count: large enough that one `Instant` read
 /// amortises to well under a nanosecond per op.
 const BATCH: u32 = 20_000;
-/// Number of timed batches per variant; the median defeats scheduler
-/// noise and one-off cache misses.
+/// Number of timed batches per variant; the per-batch *minimum* defeats
+/// scheduler noise and one-off cache misses. (Preemption and frequency
+/// throttling only ever add time, so on a shared runner the fastest
+/// batch is the tightest estimate of the code's true cost — medians
+/// flaked the 2% gates by ±3.5% on loaded single-core hosts.)
 const SAMPLES: usize = 31;
 
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    xs[xs.len() / 2]
+fn fastest(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::INFINITY, f64::min)
 }
 
-/// Median ns/op of `f` over [`SAMPLES`] batches of [`BATCH`] calls.
+/// Collapses paired interleaved samples into two comparable numbers:
+/// `a`'s best batch sets the absolute scale, and `b` is placed relative
+/// to it by the *median of per-sample ratios* `b[i] / a[i]`. Each ratio
+/// comes from two batches only milliseconds apart, so sustained
+/// slowdowns (frequency scaling, steal time) hit both sides of a ratio
+/// multiplicatively and cancel — unlike `min(a)` vs `min(b)`, which may
+/// pick its two minima from differently-throttled time windows and
+/// manufacture a delta between identical code paths.
+fn pair_summary(pa: Vec<f64>, pb: Vec<f64>) -> (f64, f64) {
+    let mut ratios: Vec<f64> = pa.iter().zip(&pb).map(|(a, b)| b / a).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let ratio = ratios[ratios.len() / 2];
+    let best_a = fastest(pa);
+    (best_a, best_a * ratio)
+}
+
+/// Best-case ns/op of `f` over [`SAMPLES`] batches of [`BATCH`] calls.
 fn time_ns(mut f: impl FnMut()) -> f64 {
     for _ in 0..BATCH {
         f(); // warm-up: fill caches, settle branch predictors
@@ -66,10 +107,10 @@ fn time_ns(mut f: impl FnMut()) -> f64 {
         }
         per_op.push(t0.elapsed().as_nanos() as f64 / f64::from(BATCH));
     }
-    median(per_op)
+    fastest(per_op)
 }
 
-/// Median ns/op of two closures with their batches interleaved, so CPU
+/// Best-case ns/op of two closures with their batches interleaved, so CPU
 /// frequency drift and cache warm-up hit both sides equally — the only
 /// honest way to resolve a sub-2% difference between near-identical
 /// code paths.
@@ -91,7 +132,7 @@ fn time_pair_ns(mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
         }
         pb.push(t0.elapsed().as_nanos() as f64 / f64::from(BATCH));
     }
-    (median(pa), median(pb))
+    pair_summary(pa, pb)
 }
 
 fn beacon_pv(ca: &CertificateAuthority, addr: u64, x: f64) -> Frame {
@@ -122,7 +163,7 @@ fn fresh_router(ca: &CertificateAuthority) -> GnRouter {
 /// horizon.
 const WORLD_SECONDS_PER_SAMPLE: u64 = 4;
 
-/// Median ns per simulated second of two same-seed worlds advancing in
+/// Best-case ns per simulated second of two same-seed worlds advancing in
 /// interleaved lockstep — the world-level analogue of [`time_pair_ns`],
 /// so traffic growth and frequency drift hit both sides equally.
 fn time_world_pair_ns(a: &mut World, b: &mut World, from_s: u64) -> (f64, f64) {
@@ -150,7 +191,30 @@ fn time_world_pair_ns(a: &mut World, b: &mut World, from_s: u64) -> (f64, f64) {
         pb.push(eb as f64 / WORLD_SECONDS_PER_SAMPLE as f64);
         t += WORLD_SECONDS_PER_SAMPLE;
     }
-    (median(pa), median(pb))
+    pair_summary(pa, pb)
+}
+
+/// Whole-call seconds of two campaign closures, interleaved — one
+/// sample is one full campaign, so far fewer samples than the
+/// nanosecond batches above, summarised through the same
+/// [`pair_summary`] ratio logic (a 300 ms campaign pair is still short
+/// against the seconds-long load swings of a shared runner).
+const CAMPAIGN_SAMPLES: usize = 15;
+
+fn time_campaign_pair_s(mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    a(); // warm-up both sides once
+    b();
+    let (mut pa, mut pb) =
+        (Vec::with_capacity(CAMPAIGN_SAMPLES), Vec::with_capacity(CAMPAIGN_SAMPLES));
+    for _ in 0..CAMPAIGN_SAMPLES {
+        let t0 = Instant::now();
+        a();
+        pa.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        b();
+        pb.push(t0.elapsed().as_secs_f64());
+    }
+    pair_summary(pa, pb)
 }
 
 fn main() -> std::process::ExitCode {
@@ -164,6 +228,8 @@ fn main() -> std::process::ExitCode {
     }
     let out = outs.first().cloned().unwrap_or_else(|| "BENCH_audit.json".to_string());
     let topo_out = outs.get(1).cloned().unwrap_or_else(|| "BENCH_topo.json".to_string());
+    let radio_out = outs.get(2).cloned().unwrap_or_else(|| "BENCH_radio.json".to_string());
+    let parallel_out = outs.get(3).cloned().unwrap_or_else(|| "BENCH_parallel.json".to_string());
 
     let ca = CertificateAuthority::new(1);
     let frame = beacon_pv(&ca, 2, 520.0);
@@ -218,7 +284,7 @@ fn main() -> std::process::ExitCode {
         }
         world_samples.push(t0.elapsed().as_nanos() as f64 / 100.0);
     }
-    let world_checkpoint = median(world_samples);
+    let world_checkpoint = fastest(world_samples);
 
     let regression_pct = (auditor_detached - baseline) / baseline * 100.0;
     let json = format!(
@@ -261,7 +327,7 @@ fn main() -> std::process::ExitCode {
         att_samples.push(t0.elapsed().as_nanos() as f64 / WORLD_SECONDS_PER_SAMPLE as f64);
         t = end;
     }
-    let step_attached = median(att_samples);
+    let step_attached = fastest(att_samples);
     let mut snap_samples = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         let t0 = Instant::now();
@@ -270,7 +336,7 @@ fn main() -> std::process::ExitCode {
         }
         snap_samples.push(t0.elapsed().as_nanos() as f64 / 100.0);
     }
-    let world_snapshot = median(snap_samples);
+    let world_snapshot = fastest(snap_samples);
 
     let topo_regression_pct = (step_detached - step_baseline) / step_baseline * 100.0;
     let topo_json = format!(
@@ -289,12 +355,187 @@ fn main() -> std::process::ExitCode {
     print!("{topo_json}");
     eprintln!("# wrote {topo_out}");
 
+    eprintln!("# timing receiver queries: grid vs linear scan at 30/100/300 m spacing...");
+    // The paper's road: 4 km, two lanes, one vehicle per `spacing`
+    // metres, everyone at the DSRC NLoS-median 486 m range — in the state
+    // a 200 s campaign run actually reaches: ids are dense and permanent,
+    // so every vehicle that entered and left the road since t=0 is still
+    // in the entry table, inactive. The linear scan visits those corpses
+    // on every broadcast; the grid holds active nodes only. The query is
+    // the one `World::transmit` issues per broadcast, from a mid-road
+    // sender. The gated pair is shipped-path vs shipped-path: before this
+    // index the delivery loop called the allocating linear scan every
+    // broadcast, after it calls `receivers_into` on a reused buffer — so
+    // those two are interleaved and drive both gates. `grid_ns` (the
+    // allocating wrapper) is reported alongside as the alloc-matched,
+    // index-only comparison; it is not gated because at sparse spacings
+    // the ~10 ns wrapper overhead sits inside measurement noise.
+    let mut spacing_rows = String::new();
+    let mut grid_beats_linear_30m = false;
+    let mut grid_regression_300m_pct = 0.0;
+    for &spacing in &[30.0f64, 100.0, 300.0] {
+        let mut m = Medium::new();
+        let per_lane = (4_000.0 / spacing) as u32 + 1;
+        for lane in 0..2u32 {
+            for i in 0..per_lane {
+                let _ = m.register(
+                    Position::new(f64::from(i) * spacing, 2.5 + f64::from(lane) * 3.5),
+                    486.0,
+                );
+            }
+        }
+        // Flow at ~30 m/s means one departure per lane every
+        // `spacing / 30` seconds; after 200 s that is the retired-entry
+        // backlog below (e.g. 400 at 30 m spacing).
+        let retired = (200.0 * 2.0 * 30.0 / spacing) as u32;
+        for i in 0..retired {
+            let id = m.register(Position::new(f64::from(i % per_lane) * spacing, 2.5), 486.0);
+            m.set_active(id, false);
+        }
+        let sender = NodeId(per_lane / 2);
+        let mut buf = Vec::new();
+        let (grid_into_ns, linear_ns) = time_pair_ns(
+            || {
+                m.receivers_into(black_box(sender), 486.0, &mut buf);
+                black_box(&buf);
+            },
+            || {
+                black_box(m.receivers_within_linear(black_box(sender), 486.0));
+            },
+        );
+        let grid_ns = time_ns(|| {
+            black_box(m.receivers_within(black_box(sender), 486.0));
+        });
+        if spacing == 30.0 {
+            grid_beats_linear_30m = grid_into_ns < linear_ns;
+        }
+        if spacing == 300.0 {
+            grid_regression_300m_pct = (grid_into_ns - linear_ns) / linear_ns * 100.0;
+        }
+        if !spacing_rows.is_empty() {
+            spacing_rows.push_str(",\n");
+        }
+        spacing_rows.push_str(&format!(
+            "    {{ \"spacing_m\": {spacing:.0}, \"nodes\": {}, \"linear_ns\": {linear_ns:.2}, \
+             \"grid_ns\": {grid_ns:.2}, \"grid_into_ns\": {grid_into_ns:.2}, \
+             \"grid_speedup\": {:.2} }}",
+            m.len(),
+            linear_ns / grid_into_ns,
+        ));
+    }
+    let radio_json = format!(
+        "{{\n  \"bench\": \"radio_receiver_query\",\n  \"samples\": {SAMPLES},\n  \
+         \"batch_iters\": {BATCH},\n  \"spacings\": [\n{spacing_rows}\n  ],\n  \
+         \"grid_beats_linear_30m\": {grid_beats_linear_30m},\n  \
+         \"grid_regression_300m_pct\": {grid_regression_300m_pct:.2}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&radio_out, &radio_json) {
+        eprintln!("error: writing {radio_out}: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    print!("{radio_json}");
+    eprintln!("# wrote {radio_out}");
+
+    eprintln!("# timing campaign: sequential loop vs job pool ({CAMPAIGN_SAMPLES} samples)...");
+    // One interarea A/B campaign, small enough to sample repeatedly. The
+    // raw loop is the pre-pool code shape: merge each seeded pair as it
+    // completes on the calling thread.
+    let scale = Scale { runs: 4, duration_s: 40 };
+    let campaign_cfg = ScenarioConfig::paper_dsrc_default().with_duration(scale.duration());
+    let campaign_seed = 42u64;
+    let raw_loop = || {
+        let bins = usize::try_from(scale.duration_s.div_ceil(5)).expect("bin count fits");
+        let mut baseline = TimeBins::new(SimDuration::from_secs(5), bins);
+        let mut attacked = TimeBins::new(SimDuration::from_secs(5), bins);
+        for i in 0..scale.runs {
+            let seed = campaign_seed.wrapping_add(u64::from(i) * 0x9E37);
+            baseline.merge(&interarea::run_one(&campaign_cfg, false, seed));
+            attacked.merge(&interarea::run_one(&campaign_cfg, true, seed));
+        }
+        black_box((baseline, attacked));
+    };
+    let pooled = |jobs: usize| {
+        parallel::set_jobs(jobs);
+        let r = interarea::run_ab(&campaign_cfg, "bench", scale, campaign_seed);
+        parallel::set_jobs(1);
+        r
+    };
+    let reports_byte_identical = {
+        let seq = pooled(1);
+        let par = pooled(4);
+        seq == par && format!("{seq:?}") == format!("{par:?}")
+    };
+    let (raw_loop_s, jobs1_s) = time_campaign_pair_s(raw_loop, || {
+        black_box(pooled(1));
+    });
+    let (jobs1b_s, jobs4_s) = time_campaign_pair_s(
+        || {
+            black_box(pooled(1));
+        },
+        || {
+            black_box(pooled(4));
+        },
+    );
+    let sequential_regression_pct = (jobs1_s - raw_loop_s) / raw_loop_s * 100.0;
+    let speedup_4jobs = jobs1b_s / jobs4_s;
+    let available = parallel::available_jobs();
+    // A 2× speedup needs hardware that can actually run 4 workers; on
+    // smaller hosts the number is recorded but not gated.
+    let speedup_gate_enforced = available >= 4;
+    let parallel_json = format!(
+        "{{\n  \"bench\": \"campaign_parallelism\",\n  \
+         \"campaign\": \"interarea run_ab, {} runs x {} s\",\n  \
+         \"samples\": {CAMPAIGN_SAMPLES},\n  \"available_parallelism\": {available},\n  \
+         \"raw_loop_s\": {raw_loop_s:.3},\n  \"jobs1_s\": {jobs1_s:.3},\n  \
+         \"jobs4_s\": {jobs4_s:.3},\n  \
+         \"sequential_regression_pct\": {sequential_regression_pct:.2},\n  \
+         \"speedup_4jobs\": {speedup_4jobs:.2},\n  \
+         \"reports_byte_identical\": {reports_byte_identical},\n  \
+         \"speedup_gate_enforced\": {speedup_gate_enforced}\n}}\n",
+        scale.runs, scale.duration_s,
+    );
+    if let Err(e) = std::fs::write(&parallel_out, &parallel_json) {
+        eprintln!("error: writing {parallel_out}: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    print!("{parallel_json}");
+    eprintln!("# wrote {parallel_out}");
+
     if check && regression_pct >= 2.0 {
         eprintln!("error: auditor-detached handle_frame regressed {regression_pct:.2}% (>= 2%)");
         return std::process::ExitCode::FAILURE;
     }
     if check && topo_regression_pct >= 2.0 {
         eprintln!("error: topo-detached world step regressed {topo_regression_pct:.2}% (>= 2%)");
+        return std::process::ExitCode::FAILURE;
+    }
+    if check && !grid_beats_linear_30m {
+        eprintln!("error: grid receiver query lost to the linear scan at 30 m spacing");
+        return std::process::ExitCode::FAILURE;
+    }
+    if check && grid_regression_300m_pct >= 2.0 {
+        eprintln!(
+            "error: grid receiver query regressed {grid_regression_300m_pct:.2}% \
+             (>= 2%) at 300 m spacing"
+        );
+        return std::process::ExitCode::FAILURE;
+    }
+    if check && !reports_byte_identical {
+        eprintln!("error: campaign reports differ between jobs=1 and jobs=4");
+        return std::process::ExitCode::FAILURE;
+    }
+    if check && sequential_regression_pct >= 2.0 {
+        eprintln!(
+            "error: pooled sequential campaign path regressed \
+             {sequential_regression_pct:.2}% (>= 2%) vs the raw loop"
+        );
+        return std::process::ExitCode::FAILURE;
+    }
+    if check && speedup_gate_enforced && speedup_4jobs < 2.0 {
+        eprintln!(
+            "error: campaign speedup at 4 jobs is {speedup_4jobs:.2}x (< 2x) \
+             on a {available}-core host"
+        );
         return std::process::ExitCode::FAILURE;
     }
     std::process::ExitCode::SUCCESS

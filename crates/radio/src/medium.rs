@@ -3,7 +3,9 @@
 use geonet_geo::Position;
 use geonet_sim::{SimDuration, StateHasher, Telemetry};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::BuildHasherDefault;
 
 /// Identifies a node registered on the radio medium.
 ///
@@ -34,6 +36,113 @@ struct Entry {
     active: bool,
 }
 
+/// Below this many registered nodes the plain linear scan beats the grid
+/// (nine hash probes plus a sort cost more than scanning a few cache
+/// lines), so [`Medium::receivers_into`] falls back to it. Sparse-traffic
+/// scenarios — 300 m spacing puts ~26 vehicles on the paper's road, and
+/// an hour-long run retires only a few dozen more — stay on the scan and
+/// cannot regress. Dense scenarios blow past the cutoff immediately and
+/// keep paying more for the scan as retired (inactive) vehicles pile up
+/// in the entry table, which the grid never visits.
+const LINEAR_CUTOFF: usize = 100;
+
+/// Multiply-shift hasher for packed grid-cell keys. The cell map sits on
+/// the per-broadcast hot path, where SipHash would cost more than the
+/// scan the grid saves; a single multiply + xor-shift disperses the
+/// packed `(cx, cy)` pair well enough for uniform vehicle layouts.
+#[derive(Debug, Default)]
+struct CellHasher(u64);
+
+impl std::hash::Hasher for CellHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+type CellMap = HashMap<u64, Vec<u32>, BuildHasherDefault<CellHasher>>;
+
+/// Uniform grid over node positions: cell edge `cell` metres, buckets of
+/// **active** node ids keyed by packed cell coordinates.
+///
+/// Invariants:
+/// * `cell >= tx_range` for every range ever registered or configured
+///   (grown monotonically, full rebuild on growth), so an uncapped query
+///   touches at most a 3×3 neighbourhood of cells. Queries do not rely on
+///   this — they derive the cell box from the effective range — it only
+///   bounds the work.
+/// * A bucket holds exactly the active entries whose position maps to its
+///   cell; inactive nodes are absent (removed in `set_active`).
+/// * Empty buckets are dropped so the map tracks occupied cells only.
+#[derive(Debug)]
+struct Grid {
+    cell: f64,
+    buckets: CellMap,
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Grid { cell: 1.0, buckets: CellMap::default() }
+    }
+}
+
+impl Grid {
+    fn cell_index(&self, v: f64) -> i32 {
+        (v / self.cell).floor() as i32
+    }
+
+    fn key(cx: i32, cy: i32) -> u64 {
+        (u64::from(cx as u32) << 32) | u64::from(cy as u32)
+    }
+
+    fn key_of(&self, p: Position) -> u64 {
+        Self::key(self.cell_index(p.x), self.cell_index(p.y))
+    }
+
+    fn insert(&mut self, id: u32, p: Position) {
+        let k = self.key_of(p);
+        self.buckets.entry(k).or_default().push(id);
+    }
+
+    fn remove(&mut self, id: u32, p: Position) {
+        let k = self.key_of(p);
+        let bucket = self.buckets.get_mut(&k).expect("grid bucket missing");
+        let i = bucket.iter().position(|&x| x == id).expect("node missing from grid bucket");
+        bucket.swap_remove(i);
+        if bucket.is_empty() {
+            self.buckets.remove(&k);
+        }
+    }
+
+    fn relocate(&mut self, id: u32, from: Position, to: Position) {
+        if self.key_of(from) != self.key_of(to) {
+            self.remove(id, from);
+            self.insert(id, to);
+        }
+    }
+
+    fn rebuild(&mut self, entries: &[Entry]) {
+        self.buckets.clear();
+        for (i, e) in entries.iter().enumerate() {
+            if e.active {
+                let k = self.key_of(e.position);
+                self.buckets.entry(k).or_default().push(i as u32);
+            }
+        }
+    }
+}
+
 /// A unit-disk broadcast medium.
 ///
 /// Nodes register with a position and a transmission range. A broadcast
@@ -45,9 +154,18 @@ struct Entry {
 /// and *after what propagation delay*; scheduling the deliveries is the
 /// caller's job (see `geonet-scenarios`). This split keeps the medium
 /// trivially testable and the event loop in one place.
+///
+/// Receiver queries are served by an incrementally maintained uniform
+/// `Grid` (cell size tied to the largest registered range, kept in sync
+/// by `set_position` / `set_active` / `set_tx_range`), with a linear-scan
+/// fallback below `LINEAR_CUTOFF` nodes. Both paths apply the same
+/// boundary-inclusive range predicate and return ascending ids, so
+/// results — and therefore whole simulation runs — are bit-identical to
+/// the reference scan ([`Medium::receivers_within_linear`]).
 #[derive(Debug, Default)]
 pub struct Medium {
     entries: Vec<Entry>,
+    grid: Grid,
     telemetry: Telemetry,
 }
 
@@ -55,7 +173,7 @@ impl Medium {
     /// Creates an empty medium.
     #[must_use]
     pub fn new() -> Self {
-        Medium { entries: Vec::new(), telemetry: Telemetry::disabled() }
+        Medium::default()
     }
 
     /// Attaches a telemetry handle; the receiver scan behind every
@@ -77,6 +195,12 @@ impl Medium {
         assert!(tx_range.is_finite() && tx_range >= 0.0, "invalid tx range: {tx_range}");
         let id = NodeId(u32::try_from(self.entries.len()).expect("too many nodes"));
         self.entries.push(Entry { position, tx_range, active: true });
+        if tx_range > self.grid.cell {
+            self.grid.cell = tx_range;
+            self.grid.rebuild(&self.entries);
+        } else {
+            self.grid.insert(id.0, position);
+        }
         id
     }
 
@@ -101,6 +225,11 @@ impl Medium {
 
     /// Folds every registered node's radio state — position, range,
     /// activity — into an audit digest, in node-id order.
+    ///
+    /// Deliberately index-structure-agnostic: only the logical state is
+    /// digested, never the grid (cell size, bucket layout, insertion
+    /// order), so an incrementally maintained medium and a freshly
+    /// rebuilt one digest identically.
     pub fn digest_into(&self, h: &mut StateHasher) {
         h.write_u64(self.entries.len() as u64);
         for e in &self.entries {
@@ -128,7 +257,11 @@ impl Medium {
     /// Panics if `id` is unknown or the position is not finite.
     pub fn set_position(&mut self, id: NodeId, position: Position) {
         assert!(position.is_finite(), "non-finite position");
+        let old = self.entries[id.index()];
         self.entries[id.index()].position = position;
+        if old.active {
+            self.grid.relocate(id.0, old.position, position);
+        }
     }
 
     /// The configured transmission range of `id`, metres.
@@ -149,6 +282,10 @@ impl Medium {
     pub fn set_tx_range(&mut self, id: NodeId, tx_range: f64) {
         assert!(tx_range.is_finite() && tx_range >= 0.0, "invalid tx range: {tx_range}");
         self.entries[id.index()].tx_range = tx_range;
+        if tx_range > self.grid.cell {
+            self.grid.cell = tx_range;
+            self.grid.rebuild(&self.entries);
+        }
     }
 
     /// Whether `id` currently participates in the medium.
@@ -160,7 +297,16 @@ impl Medium {
     /// Activates or deactivates `id`. Inactive nodes neither hear nor are
     /// counted as receivers (used for vehicles that have left the road).
     pub fn set_active(&mut self, id: NodeId, active: bool) {
+        let e = self.entries[id.index()];
+        if e.active == active {
+            return;
+        }
         self.entries[id.index()].active = active;
+        if active {
+            self.grid.insert(id.0, e.position);
+        } else {
+            self.grid.remove(id.0, e.position);
+        }
     }
 
     /// The nodes that hear a broadcast from `sender` at its configured
@@ -184,6 +330,81 @@ impl Medium {
     /// Panics if `sender` is unknown or `cap_range` is invalid.
     #[must_use]
     pub fn receivers_within(&self, sender: NodeId, cap_range: f64) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.receivers_into(sender, cap_range, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Medium::receivers_within`]: clears
+    /// `out` and fills it with the receivers in ascending id order. The
+    /// simulation's delivery path reuses one buffer across broadcasts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is unknown or `cap_range` is invalid.
+    pub fn receivers_into(&self, sender: NodeId, cap_range: f64, out: &mut Vec<NodeId>) {
+        assert!(cap_range.is_finite() && cap_range >= 0.0, "invalid cap range: {cap_range}");
+        let _span = self.telemetry.time("radio_receiver_scan_ns");
+        out.clear();
+        let s = self.entries[sender.index()];
+        if !s.active {
+            return;
+        }
+        let range = s.tx_range.min(cap_range);
+        if self.entries.len() <= LINEAR_CUTOFF {
+            for (i, e) in self.entries.iter().enumerate() {
+                if i == sender.index() || !e.active {
+                    continue;
+                }
+                if s.position.within_range(e.position, range) {
+                    out.push(NodeId(i as u32));
+                }
+            }
+            return; // enumeration order is already ascending
+        }
+        // Every cell intersecting the bounding square of the range disk;
+        // with cell >= range this is at most 3×3.
+        let cx0 = self.grid.cell_index(s.position.x - range);
+        let cx1 = self.grid.cell_index(s.position.x + range);
+        let cy0 = self.grid.cell_index(s.position.y - range);
+        let cy1 = self.grid.cell_index(s.position.y + range);
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                let Some(bucket) = self.grid.buckets.get(&Grid::key(cx, cy)) else {
+                    continue;
+                };
+                for &i in bucket {
+                    if i == sender.0 {
+                        continue;
+                    }
+                    let e = &self.entries[i as usize];
+                    debug_assert!(e.active, "grid bucket holds inactive node");
+                    if s.position.within_range(e.position, range) {
+                        out.push(NodeId(i));
+                    }
+                }
+            }
+        }
+        // Bucket traversal visits cells, not ids; restore the id order the
+        // linear scan produces so runs stay bit-identical.
+        out.sort_unstable();
+    }
+
+    /// Reference linear-scan implementation of
+    /// [`Medium::receivers_within`].
+    ///
+    /// Kept as the correctness oracle for the grid index — the property
+    /// tests assert exact equality against it — and as the baseline side
+    /// of the `BENCH_radio.json` A/B gate. Not used on any hot path. It
+    /// carries the same telemetry span as the indexed path (the
+    /// pre-index implementation did too), so benchmark comparisons
+    /// isolate the index itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` is unknown or `cap_range` is invalid.
+    #[must_use]
+    pub fn receivers_within_linear(&self, sender: NodeId, cap_range: f64) -> Vec<NodeId> {
         assert!(cap_range.is_finite() && cap_range >= 0.0, "invalid cap range: {cap_range}");
         let _span = self.telemetry.time("radio_receiver_scan_ns");
         let s = &self.entries[sender.index()];
@@ -358,6 +579,93 @@ mod tests {
         assert!(Medium::new().nodes().next().is_none());
     }
 
+    #[test]
+    fn grid_path_matches_oracle_boundary_inclusive_and_sorted() {
+        // 134 nodes at 30 m spacing — well past LINEAR_CUTOFF, so the
+        // grid path answers.
+        let (mut m, ids) = medium_with_line(&[486.0; 134], 30.0);
+        let rx = m.receivers(ids[50]);
+        assert_eq!(rx, m.receivers_within_linear(ids[50], 486.0));
+        // 486 / 30 = 16.2 → 16 neighbours each side.
+        assert_eq!(rx.len(), 32);
+        assert!(rx.windows(2).all(|w| w[0] < w[1]));
+        // Boundary-inclusive on the grid path: a node at exactly 486 m.
+        let far = m.register(Position::new(50.0 * 30.0 + 486.0, 0.0), 486.0);
+        assert!(m.receivers(ids[50]).contains(&far));
+    }
+
+    #[test]
+    fn grid_tracks_moves_across_cells() {
+        // Past the cutoff; nodes 300 m apart with 100 m range → nobody
+        // hears anybody, and each node sits in its own grid cell.
+        let (mut m, ids) = medium_with_line(&[100.0; 120], 300.0);
+        assert!(m.receivers(ids[0]).is_empty());
+        // Move a far node several cells over, next to node 0.
+        m.set_position(ids[42], Position::new(50.0, 0.0));
+        assert_eq!(m.receivers(ids[0]), vec![ids[42]]);
+        assert_eq!(m.receivers(ids[42]), vec![ids[0]]);
+        // And away again.
+        m.set_position(ids[42], Position::new(-5_000.0, 0.0));
+        assert!(m.receivers(ids[0]).is_empty());
+    }
+
+    #[test]
+    fn grid_tracks_activity_toggles() {
+        let (mut m, ids) = medium_with_line(&[486.0; 120], 30.0);
+        m.set_active(ids[51], false);
+        m.set_active(ids[51], false); // idempotent
+        let rx = m.receivers(ids[50]);
+        assert!(!rx.contains(&ids[51]));
+        assert_eq!(rx, m.receivers_within_linear(ids[50], 486.0));
+        m.set_active(ids[51], true);
+        m.set_active(ids[51], true); // idempotent
+        assert!(m.receivers(ids[50]).contains(&ids[51]));
+        // An inactive sender hears nothing on the grid path either.
+        m.set_active(ids[50], false);
+        assert!(m.receivers(ids[50]).is_empty());
+    }
+
+    #[test]
+    fn receivers_into_reuses_buffer() {
+        let (m, ids) = medium_with_line(&[500.0; 4], 400.0);
+        let mut buf = vec![NodeId(99)];
+        m.receivers_into(ids[1], 500.0, &mut buf);
+        assert_eq!(buf, vec![ids[0], ids[2]]);
+        // The buffer is cleared even when nobody hears.
+        m.receivers_into(ids[0], 100.0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn digest_is_index_structure_agnostic() {
+        // Medium A: nodes registered directly at their final state.
+        let mut a = Medium::new();
+        for i in 0..80 {
+            let _ = a.register(Position::new(f64::from(i) * 25.0, 5.0), 486.0);
+        }
+        // Medium B: same logical end state reached via moves, activity
+        // toggles, and range growth that forces full grid rebuilds.
+        let mut b = Medium::new();
+        let ids: Vec<NodeId> =
+            (0..80).map(|i| b.register(Position::new(-f64::from(i), -200.0), 50.0)).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            b.set_active(id, false);
+            b.set_position(id, Position::new(i as f64 * 25.0, 5.0));
+            b.set_active(id, true);
+        }
+        for &id in &ids {
+            b.set_tx_range(id, 486.0);
+        }
+        let (mut ha, mut hb) = (StateHasher::new(), StateHasher::new());
+        a.digest_into(&mut ha);
+        b.digest_into(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        // And the two media answer queries identically.
+        for id in a.nodes() {
+            assert_eq!(a.receivers(id), b.receivers(id));
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_receivers_sorted_and_within_range(
@@ -397,6 +705,40 @@ mod tests {
             // A bigger cap can only add receivers.
             for r in &rx_lo {
                 prop_assert!(rx_hi.contains(r));
+            }
+        }
+
+        /// The tentpole equivalence property: after an arbitrary history
+        /// of registrations, moves (including across grid cells) and
+        /// activity toggles, the grid-indexed query equals the linear
+        /// oracle exactly — for every sender and for arbitrary power
+        /// caps, on node counts spanning both sides of [`LINEAR_CUTOFF`].
+        #[test]
+        fn prop_grid_matches_linear_oracle(
+            positions in prop::collection::vec((-5_000.0f64..5_000.0, -1_000.0f64..1_000.0), 2..160),
+            ranges in prop::collection::vec(0.0f64..2_000.0, 2..160),
+            moves in prop::collection::vec(
+                (0usize..160, -5_000.0f64..5_000.0, -1_000.0f64..1_000.0), 0..40),
+            toggles in prop::collection::vec((0usize..160, any::<bool>()), 0..30),
+            cap in 0.0f64..3_000.0)
+        {
+            let mut m = Medium::new();
+            let ids: Vec<NodeId> = positions
+                .iter()
+                .zip(ranges.iter().cycle())
+                .map(|(&(x, y), &r)| m.register(Position::new(x, y), r))
+                .collect();
+            for &(i, x, y) in &moves {
+                m.set_position(ids[i % ids.len()], Position::new(x, y));
+            }
+            for &(i, active) in &toggles {
+                m.set_active(ids[i % ids.len()], active);
+            }
+            for &sender in &ids {
+                prop_assert_eq!(
+                    m.receivers_within(sender, cap),
+                    m.receivers_within_linear(sender, cap)
+                );
             }
         }
     }

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--runs N] [--duration SECS] [--seed S] [--csv]
+//! repro [--runs N] [--duration SECS] [--seed S] [--jobs N] [--csv]
 //!       [--trace PREFIX] [--forensics] [--metrics PREFIX] [--profile]
 //!       [--audit PREFIX] [--audit-diff A B] [--check-invariants]
 //!       [--topology PREFIX] [--topology-scenario NAME]
@@ -66,8 +66,8 @@ use geonet_scenarios::report::{
     drop_breakdown, render_table, series_to_csv, to_csv, ExperimentRow,
 };
 use geonet_scenarios::{
-    analysis, extensions, impact, interarea, intraarea, mitigation, progress, safety, topology,
-    AbResult, BlastRadiusReport, HeatmapDiff, RoadHeatmap, ScenarioConfig,
+    analysis, extensions, impact, interarea, intraarea, mitigation, parallel, progress, safety,
+    topology, AbResult, BlastRadiusReport, HeatmapDiff, RoadHeatmap, ScenarioConfig,
 };
 use geonet_sim::{
     diff_artifacts, shared, shared_auditor, shared_registry, trace_window, AuditArtifact,
@@ -88,6 +88,7 @@ enum TopologyScenario {
 struct Options {
     scale: Scale,
     seed: u64,
+    jobs: usize,
     csv: bool,
     trace: Option<String>,
     forensics: bool,
@@ -139,6 +140,14 @@ const FLAG_SPECS: &[FlagSpec] = &[
         group: "campaign",
         help: "base RNG seed (default 42)",
         example: &["7"],
+    },
+    FlagSpec {
+        name: "--jobs",
+        operands: "N",
+        group: "campaign",
+        help: "worker threads for a campaign's seeded runs (default: all \
+               cores; reports are byte-identical at any N)",
+        example: &["2"],
     },
     FlagSpec {
         name: "--csv",
@@ -261,6 +270,7 @@ fn note_seen(seen: &mut Vec<String>, flag: &str) -> Result<(), String> {
 fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut scale = Scale { runs: 5, duration_s: 100 };
     let mut seed = 42;
+    let mut jobs = parallel::available_jobs();
     let mut csv = false;
     let mut trace = None;
     let mut forensics = false;
@@ -305,6 +315,16 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
                     .ok_or("--seed needs a value")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs: must be at least 1".into());
+                }
             }
             "--csv" => csv = true,
             "--trace" => {
@@ -379,6 +399,7 @@ fn parse_args_from(args: impl Iterator<Item = String>) -> Result<Options, String
     Ok(Options {
         scale,
         seed,
+        jobs,
         csv,
         trace,
         forensics,
@@ -1049,10 +1070,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    parallel::set_jobs(opts.jobs);
     progress::enable();
     eprintln!(
-        "# scale: {} runs × {} s, seed {}",
-        opts.scale.runs, opts.scale.duration_s, opts.seed
+        "# scale: {} runs × {} s, seed {}, {} job(s)",
+        opts.scale.runs, opts.scale.duration_s, opts.seed, opts.jobs
     );
     for name in opts.experiments.clone() {
         let t0 = std::time::Instant::now();

@@ -19,6 +19,7 @@ use crate::config::{Scale, ScenarioConfig};
 use crate::interarea;
 use crate::intraarea;
 use crate::mitigation::MitigationResult;
+use crate::parallel;
 use crate::report::AbResult;
 use geonet::config::LinkAckConfig;
 use geonet_sim::{SimDuration, TimeBins};
@@ -27,9 +28,12 @@ fn merged_interarea(cfg: &ScenarioConfig, attacked: bool, scale: Scale, seed: u6
     let cfg = cfg.with_duration(scale.duration());
     let bin_count = usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
     let mut bins = TimeBins::new(SimDuration::from_secs(5), bin_count);
-    for i in 0..scale.runs {
+    let runs = parallel::run_indexed(scale.runs, |i| {
         let s = seed.wrapping_add(u64::from(i) * 0x9E37);
-        bins.merge(&interarea::run_one(&cfg, attacked, s));
+        interarea::run_one(&cfg, attacked, s)
+    });
+    for r in &runs {
+        bins.merge(r);
     }
     bins
 }
@@ -102,12 +106,18 @@ pub fn ack_overhead(scale: Scale, seed: u64) -> Vec<(String, u64, u64)> {
     [0.0, 0.1, 0.3]
         .into_iter()
         .map(|loss| {
+            let loads = parallel::run_indexed(scale.runs, |i| {
+                let s = seed.wrapping_add(u64::from(i) * 0x9E37);
+                (
+                    interarea::run_one_with_load(&base.with_frame_loss(loss), true, s).1,
+                    interarea::run_one_with_load(&acked.with_frame_loss(loss), true, s).1,
+                )
+            });
             let mut plain = 0;
             let mut with_ack = 0;
-            for i in 0..scale.runs {
-                let s = seed.wrapping_add(u64::from(i) * 0x9E37);
-                plain += interarea::run_one_with_load(&base.with_frame_loss(loss), true, s).1;
-                with_ack += interarea::run_one_with_load(&acked.with_frame_loss(loss), true, s).1;
+            for &(p, a) in &loads {
+                plain += p;
+                with_ack += a;
             }
             (format!("loss={:.0}%", loss * 100.0), plain, with_ack)
         })

@@ -9,6 +9,7 @@
 //! average per-bin drop from the attacker-free to the attacked runs.
 
 use crate::config::{AttackerSetup, Scale, ScenarioConfig};
+use crate::parallel;
 use crate::progress;
 use crate::report::AbResult;
 use crate::world::World;
@@ -173,10 +174,16 @@ pub fn run_ab(cfg: &ScenarioConfig, label: &str, scale: Scale, base_seed: u64) -
     let mut baseline = TimeBins::new(SimDuration::from_secs(5), bin_count);
     let mut attacked = TimeBins::new(SimDuration::from_secs(5), bin_count);
     progress::begin_setting(label, scale.runs * 2);
-    for i in 0..scale.runs {
+    // Independent seeded runs fan across the job pool; pairs come back in
+    // seed-index order, so the merge below is byte-identical to the
+    // sequential `for i in 0..runs` loop.
+    let pairs = parallel::run_indexed(scale.runs, |i| {
         let seed = base_seed.wrapping_add(u64::from(i) * 0x9E37);
-        baseline.merge(&run_one(&cfg, false, seed));
-        attacked.merge(&run_one(&cfg, true, seed));
+        (run_one(&cfg, false, seed), run_one(&cfg, true, seed))
+    });
+    for (a, b) in &pairs {
+        baseline.merge(a);
+        attacked.merge(b);
     }
     AbResult { label: label.to_string(), baseline, attacked }
 }

@@ -8,6 +8,7 @@
 //! from attacker-free to attacked runs.
 
 use crate::config::{AttackerSetup, Scale, ScenarioConfig};
+use crate::parallel;
 use crate::progress;
 use crate::report::AbResult;
 use crate::world::World;
@@ -129,10 +130,19 @@ pub fn run_ab(cfg: &ScenarioConfig, label: &str, scale: Scale, base_seed: u64) -
     let mut baseline = TimeBins::new(SimDuration::from_secs(5), bin_count);
     let mut attacked = TimeBins::new(SimDuration::from_secs(5), bin_count);
     progress::begin_setting(label, scale.runs * 2);
-    for i in 0..scale.runs {
+    // Runs are independent per seed; bins are folded inside each job and
+    // merged back in seed-index order — byte-identical to the sequential
+    // loop.
+    let pairs = parallel::run_indexed(scale.runs, |i| {
         let seed = base_seed.wrapping_add(u64::from(i) * 0x517C);
-        baseline.merge(&outcomes_to_bins(&run_one(&cfg, false, seed), cfg.duration));
-        attacked.merge(&outcomes_to_bins(&run_one(&cfg, true, seed), cfg.duration));
+        (
+            outcomes_to_bins(&run_one(&cfg, false, seed), cfg.duration),
+            outcomes_to_bins(&run_one(&cfg, true, seed), cfg.duration),
+        )
+    });
+    for (a, b) in &pairs {
+        baseline.merge(a);
+        attacked.merge(b);
     }
     AbResult { label: label.to_string(), baseline, attacked }
 }
@@ -219,16 +229,22 @@ pub fn fig9_source_split(scale: Scale, seed: u64) -> (AbResult, AbResult) {
     let lo = cfg.attacker_position.x - half;
     let hi = cfg.attacker_position.x + half;
     let bin_count = usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
+    // `run_one` is pure, so each seeded A/B pair is simulated once (the
+    // old loop re-ran it per `inside` value) and filtered twice below.
+    let runs = parallel::run_indexed(scale.runs, |i| {
+        let run_seed = seed.wrapping_add(u64::from(i) * 0x517C);
+        (run_one(&cfg, false, run_seed), run_one(&cfg, true, run_seed))
+    });
     let mut result = Vec::new();
     for inside in [true, false] {
         let mut baseline = TimeBins::new(SimDuration::from_secs(5), bin_count);
         let mut attacked = TimeBins::new(SimDuration::from_secs(5), bin_count);
-        for i in 0..scale.runs {
-            let run_seed = seed.wrapping_add(u64::from(i) * 0x517C);
-            for (is_attack, bins) in [(false, &mut baseline), (true, &mut attacked)] {
-                let outcomes = run_one(&cfg, is_attack, run_seed);
+        for (base_outcomes, atk_outcomes) in &runs {
+            for (outcomes, bins) in [(base_outcomes, &mut baseline), (atk_outcomes, &mut attacked)]
+            {
                 let filtered: Vec<PacketOutcome> = outcomes
-                    .into_iter()
+                    .iter()
+                    .copied()
                     .filter(|o| ((lo..=hi).contains(&o.source_x)) == inside)
                     .collect();
                 bins.merge(&outcomes_to_bins(&filtered, cfg.duration));

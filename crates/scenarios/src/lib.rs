@@ -15,6 +15,9 @@
 //! | [`extensions`] | beyond the paper: ACK defense, lossy channels, mobile attacker |
 //! | [`analysis`] | closed-form γ/λ predictions from the attack geometry |
 //!
+//! Campaign loops fan their independent seeded runs across worker
+//! threads via [`parallel`] (seed-indexed job pool; results merge in
+//! index order so reports stay byte-identical to the sequential path).
 //! Long campaigns can report progress and performance telemetry: see
 //! [`progress`] (per-run throughput/ETA lines) and
 //! [`geonet_sim::telemetry`] (hot-path histograms and state-depth gauges,
@@ -54,6 +57,7 @@ pub mod impact;
 pub mod interarea;
 pub mod intraarea;
 pub mod mitigation;
+pub mod parallel;
 pub mod progress;
 pub mod report;
 pub mod safety;

@@ -10,6 +10,7 @@
 //!   reception with and without the check against wN and mN attackers.
 
 use crate::config::{Scale, ScenarioConfig};
+use crate::parallel;
 use crate::report::AbResult;
 use crate::{interarea, intraarea};
 use geonet::MitigationConfig;
@@ -65,9 +66,12 @@ fn merged_interarea(cfg: &ScenarioConfig, attacked: bool, scale: Scale, seed: u6
     let cfg = cfg.with_duration(scale.duration());
     let bin_count = usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
     let mut bins = TimeBins::new(SimDuration::from_secs(5), bin_count);
-    for i in 0..scale.runs {
+    let runs = parallel::run_indexed(scale.runs, |i| {
         let s = seed.wrapping_add(u64::from(i) * 0x9E37);
-        bins.merge(&interarea::run_one(&cfg, attacked, s));
+        interarea::run_one(&cfg, attacked, s)
+    });
+    for r in &runs {
+        bins.merge(r);
     }
     bins
 }
@@ -112,12 +116,12 @@ pub fn fig14b(scale: Scale, seed: u64) -> Vec<MitigationResult> {
         let bin_count =
             usize::try_from(cfg.duration.as_secs().div_ceil(5)).expect("bin count fits");
         let mut bins = TimeBins::new(SimDuration::from_secs(5), bin_count);
-        for i in 0..scale.runs {
+        let runs = parallel::run_indexed(scale.runs, |i| {
             let s = seed.wrapping_add(u64::from(i) * 0x517C);
-            bins.merge(&intraarea::outcomes_to_bins(
-                &intraarea::run_one(&cfg, attacked, s),
-                cfg.duration,
-            ));
+            intraarea::outcomes_to_bins(&intraarea::run_one(&cfg, attacked, s), cfg.duration)
+        });
+        for r in &runs {
+            bins.merge(r);
         }
         bins
     };

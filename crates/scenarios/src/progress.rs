@@ -13,6 +13,14 @@
 //! family gets progress lines without threading a handle through each
 //! `fig*` signature. When disabled (the default, e.g. under `cargo test`)
 //! every call is a cheap no-op and nothing is printed.
+//!
+//! The reporter is jobs-aware: campaign loops run their seeded runs on a
+//! [`crate::parallel`] worker pool, so every line is printed *while
+//! holding the state lock* — one synchronized writer, no interleaved
+//! fragments — and with more than one job the per-run lines switch to a
+//! per-setting aggregate (elapsed wall, cumulative events, pool
+//! throughput, pool-aware ETA) since individual run wall times overlap
+//! and would read as nonsense.
 
 use geonet_sim::{RunningStats, SimDuration};
 use std::sync::Mutex;
@@ -27,6 +35,11 @@ struct ProgressState {
     completed: u32,
     /// Per-run wall seconds within the current setting (drives the ETA).
     setting_wall: RunningStats,
+    /// When the current setting was announced (drives the aggregate
+    /// elapsed/throughput line under parallel runs).
+    setting_started: Option<Instant>,
+    /// Kernel events dispatched within the current setting.
+    setting_events: u64,
     totals: CampaignSummary,
 }
 
@@ -67,6 +80,8 @@ pub fn enable() {
         planned: 0,
         completed: 0,
         setting_wall: RunningStats::new(),
+        setting_started: None,
+        setting_events: 0,
         totals: CampaignSummary::default(),
     });
 }
@@ -96,6 +111,8 @@ pub fn begin_setting(label: &str, planned_runs: u32) {
         s.planned = planned_runs;
         s.completed = 0;
         s.setting_wall = RunningStats::new();
+        s.setting_started = Some(Instant::now());
+        s.setting_events = 0;
     }
 }
 
@@ -112,42 +129,69 @@ pub fn run_started() -> Option<Instant> {
 pub fn run_completed(started: Option<Instant>, events: u64, sim: SimDuration) {
     let Some(t0) = started else { return };
     let wall = t0.elapsed().as_secs_f64();
+    let jobs = crate::parallel::jobs();
     let mut guard = lock();
     let Some(s) = guard.as_mut() else { return };
     s.completed += 1;
     s.setting_wall.push(wall);
+    s.setting_events += events;
     s.totals.runs += 1;
     s.totals.events += events;
     s.totals.sim_seconds += sim.as_secs_f64();
     s.totals.wall_seconds += wall;
-    let ev_per_sec = if wall > 0.0 { events as f64 / wall } else { 0.0 };
-    let ratio = if wall > 0.0 { sim.as_secs_f64() / wall } else { 0.0 };
-    let mut line = format!(
-        "# [{} {}/{}] {:.2} s wall, {:.2} M events ({:.2} M ev/s, sim/wall {:.0}x)",
-        s.setting,
-        s.completed,
-        s.planned.max(s.completed),
-        wall,
-        events as f64 / 1e6,
-        ev_per_sec / 1e6,
-        ratio,
-    );
-    if s.completed < s.planned {
+    let remaining = s.planned.saturating_sub(s.completed);
+    let mut line = if jobs > 1 {
+        // Parallel campaign: per-run wall times overlap, so report the
+        // setting-level aggregate — elapsed wall since begin_setting,
+        // cumulative events and the pool's combined throughput.
+        let elapsed = s.setting_started.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        let agg_rate = if elapsed > 0.0 { s.setting_events as f64 / elapsed } else { 0.0 };
+        format!(
+            "# [{} {}/{}] {:.2} s elapsed, {:.2} M events ({:.2} M ev/s, {jobs} jobs)",
+            s.setting,
+            s.completed,
+            s.planned.max(s.completed),
+            elapsed,
+            s.setting_events as f64 / 1e6,
+            agg_rate / 1e6,
+        )
+    } else {
+        let ev_per_sec = if wall > 0.0 { events as f64 / wall } else { 0.0 };
+        let ratio = if wall > 0.0 { sim.as_secs_f64() / wall } else { 0.0 };
+        format!(
+            "# [{} {}/{}] {:.2} s wall, {:.2} M events ({:.2} M ev/s, sim/wall {:.0}x)",
+            s.setting,
+            s.completed,
+            s.planned.max(s.completed),
+            wall,
+            events as f64 / 1e6,
+            ev_per_sec / 1e6,
+            ratio,
+        )
+    };
+    if remaining > 0 {
         if let Some(mean) = s.setting_wall.mean() {
-            let eta = mean * f64::from(s.planned - s.completed);
+            // With a pool, the remaining runs drain jobs at a time.
+            let eta = mean * f64::from(remaining) / jobs.max(1) as f64;
             line.push_str(&format!(", ETA {eta:.0} s"));
         }
     }
-    drop(guard);
+    // Print while holding the lock: worker threads finish runs
+    // concurrently, and a single synchronized writer keeps the stderr
+    // stream ordered and parseable.
     eprintln!("{line}");
+    drop(guard);
 }
 
 /// Prints one per-experiment wall-time summary line to stderr (no-op
-/// while disabled).
+/// while disabled). Printed under the reporter lock so it cannot tear
+/// through a concurrent run line.
 pub fn experiment_completed(name: &str, wall: std::time::Duration) {
-    if is_enabled() {
+    let guard = lock();
+    if guard.is_some() {
         eprintln!("# experiment {name}: {:.1} s wall", wall.as_secs_f64());
     }
+    drop(guard);
 }
 
 fn lock() -> std::sync::MutexGuard<'static, Option<ProgressState>> {

@@ -87,6 +87,9 @@ pub struct World {
     /// Traffic steps seen since telemetry was attached (drives the
     /// periodic state-depth sampling cadence).
     telemetry_steps: u32,
+    /// Receiver scratch buffer reused across broadcasts, so the hottest
+    /// path in the event loop allocates nothing in steady state.
+    rx_buf: Vec<NodeId>,
 }
 
 impl World {
@@ -130,6 +133,7 @@ impl World {
             topo: TopoObserver::disabled(),
             topo_dest: None,
             telemetry_steps: 0,
+            rx_buf: Vec::new(),
             cfg,
         };
         // Register the pre-filled vehicles.
@@ -849,7 +853,8 @@ impl World {
         self.telemetry.add("frames_on_air_total", 1);
         self.telemetry.add("bytes_on_air_total", wire_bytes);
         let cap = cap.unwrap_or_else(|| self.medium.tx_range(from));
-        let mut receivers = self.medium.receivers_within(from, cap);
+        let mut receivers = std::mem::take(&mut self.rx_buf);
+        self.medium.receivers_into(from, cap, &mut receivers);
         if let Some(atk) = self.attacker_node {
             if from != atk {
                 // The LoS sniffer link replaces the unit-disk rule for
@@ -869,20 +874,24 @@ impl World {
             beacon: key.is_none(),
         });
         // Frame-loss extension: each individual delivery may be lost.
-        let mut delivered: Vec<NodeId> = Vec::with_capacity(receivers.len());
-        for rx in receivers {
-            if self.cfg.frame_loss_rate > 0.0 && self.loss_rng.chance(self.cfg.frame_loss_rate) {
-                self.tracer.for_node(rx.0).emit(now, || TraceEvent::FrameLost {
-                    packet: key.map(World::packet_ref),
-                    from: frame.src.to_u64(),
-                });
-                continue;
-            }
-            delivered.push(rx);
+        // Filtered in place (same draw order as the old copy loop) so the
+        // scratch buffer is the only receiver storage on this path.
+        if self.cfg.frame_loss_rate > 0.0 {
+            receivers.retain(|&rx| {
+                if self.loss_rng.chance(self.cfg.frame_loss_rate) {
+                    self.tracer.for_node(rx.0).emit(now, || TraceEvent::FrameLost {
+                        packet: key.map(World::packet_ref),
+                        from: frame.src.to_u64(),
+                    });
+                    false
+                } else {
+                    true
+                }
+            });
         }
         if let Some(dst) = frame.dst {
             self.unicasts_sent += 1;
-            let reached = self.addr_index.get(&dst).is_some_and(|n| delivered.contains(n));
+            let reached = self.addr_index.get(&dst).is_some_and(|n| receivers.contains(n));
             if !reached {
                 self.unicasts_lost += 1;
             }
@@ -902,10 +911,12 @@ impl World {
                 }
             }
         }
-        for rx in delivered {
+        for &rx in &receivers {
             let delay = self.medium.propagation_delay(from, rx);
             self.kernel.schedule_in(delay, Ev::Deliver { to: rx, frame: frame.clone() });
         }
+        receivers.clear();
+        self.rx_buf = receivers;
     }
 }
 
